@@ -1,0 +1,14 @@
+//! Ablation: the EOU's analytical objective — the paper's literal
+//! Eq. 1-4 versus the insertion-aware variant this reproduction uses
+//! (see DESIGN.md §3).
+
+use sim_engine::experiments::ablation;
+
+fn main() {
+    slip_bench::print_header("Ablation: EOU objective");
+    let rows = ablation::eou_objective_ablation(
+        slip_bench::bench_accesses(),
+        &["soplex", "gcc", "mcf", "sphinx3", "lbm"],
+    );
+    print!("{}", ablation::objective_table(&rows).render());
+}

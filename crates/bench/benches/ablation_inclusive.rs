@@ -1,0 +1,13 @@
+//! Ablation (paper §4.3): SLIP+ABP under an inclusive LLC — bypassed
+//! lines may not be cached above, degrading performance.
+
+use sim_engine::experiments::ablation;
+
+fn main() {
+    slip_bench::print_header("Ablation: inclusive vs non-inclusive LLC under SLIP+ABP");
+    let rows = ablation::inclusion_ablation(
+        slip_bench::bench_accesses(),
+        &["soplex", "gcc", "mcf", "sphinx3", "lbm"],
+    );
+    print!("{}", ablation::inclusion_table(&rows).render());
+}

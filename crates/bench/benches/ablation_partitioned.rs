@@ -1,0 +1,13 @@
+//! Ablation (paper §7): way-partitioned shared L3 — SLIP applied within
+//! each core's partition vs one shared SLIP policy.
+
+use sim_engine::experiments::multicore_exp;
+
+fn main() {
+    slip_bench::print_header("Ablation: shared vs way-partitioned L3 (paper Section 7)");
+    let rows = multicore_exp::partition_comparison(
+        slip_bench::bench_accesses(),
+        &workloads::MULTICORE_MIXES[..4],
+    );
+    print!("{}", multicore_exp::partition_table(&rows).render());
+}

@@ -1,0 +1,14 @@
+//! Ablation (paper §7): rd-block granularity — profile and assign
+//! SLIPs per 2 KB / 4 KB / 8 KB block instead of per page.
+
+use sim_engine::experiments::ablation;
+
+fn main() {
+    slip_bench::print_header("Ablation: rd-block granularity (paper Section 7)");
+    let rows = ablation::rd_block_sweep(
+        slip_bench::bench_accesses(),
+        &["soplex", "xalancbmk", "mcf", "lbm"],
+        &[11, 12, 13, 14],
+    );
+    print!("{}", ablation::rd_block_table(&rows).render());
+}

@@ -1,0 +1,12 @@
+//! Ablation (paper §4.2): time-based sampling probabilities.
+
+use sim_engine::experiments::ablation;
+
+fn main() {
+    slip_bench::print_header("Ablation: sampling probabilities (N_samp / N_stab)");
+    let rows = ablation::sampling_sweep(
+        slip_bench::bench_accesses(),
+        &["soplex", "xalancbmk", "mcf"],
+    );
+    print!("{}", ablation::sampling_table(&rows).render());
+}

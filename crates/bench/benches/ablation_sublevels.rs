@@ -1,0 +1,13 @@
+//! Ablation: sweep the sublevel partitioning (the paper fixes S = 3
+//! with 4/4/8 ways per sublevel).
+
+use sim_engine::experiments::ablation;
+
+fn main() {
+    slip_bench::print_header("Ablation: sublevel partitioning");
+    let rows = ablation::sublevel_sweep(
+        slip_bench::bench_accesses(),
+        &["soplex", "gcc", "mcf", "sphinx3", "lbm"],
+    );
+    print!("{}", ablation::sublevel_table(&rows).render());
+}

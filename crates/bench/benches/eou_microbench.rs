@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks for the Energy Optimizer Unit (paper
+//! Section 5: the synthesized RTL sustains one optimization per cycle
+//! at 2.4 GHz; this measures the software model's throughput).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use energy_model::TECH_45NM;
+use sim_engine::experiments::hardware::eou_bench_distributions;
+use slip_core::{EnergyOptimizerUnit, LevelModelParams, Slip};
+use std::hint::black_box;
+
+fn l2_params() -> LevelModelParams {
+    LevelModelParams::from_level(&TECH_45NM.l2, TECH_45NM.l3.mean_access())
+}
+
+fn bench_eou(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eou");
+
+    group.bench_function("build_unit", |b| {
+        let params = l2_params();
+        b.iter(|| EnergyOptimizerUnit::new(black_box(&params)));
+    });
+
+    group.bench_function("optimize_one_distribution", |b| {
+        let dists = eou_bench_distributions();
+        b.iter_batched(
+            || EnergyOptimizerUnit::new(&l2_params()),
+            |mut eou| {
+                for d in &dists {
+                    black_box(eou.optimize(d));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("coefficients_all_slips", |b| {
+        let params = l2_params();
+        b.iter(|| {
+            for slip in Slip::enumerate(3) {
+                black_box(slip_core::coefficients(&params, slip));
+            }
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_eou);
+criterion_main!(benches);

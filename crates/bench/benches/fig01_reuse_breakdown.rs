@@ -1,0 +1,10 @@
+//! Regenerates paper Figure 1: fraction of 2 MB-LLC lines by number of
+//! reuses (NR) before eviction.
+
+use sim_engine::experiments::motivation;
+
+fn main() {
+    slip_bench::print_header("Figure 1: lines by number of reuses before eviction");
+    let rows = motivation::fig01(slip_bench::bench_accesses());
+    print!("{}", motivation::fig01_table(&rows).render());
+}

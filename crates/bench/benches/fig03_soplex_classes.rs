@@ -1,0 +1,10 @@
+//! Regenerates paper Figure 3: reuse-distance distributions of the
+//! three soplex access classes.
+
+use sim_engine::experiments::motivation;
+
+fn main() {
+    slip_bench::print_header("Figure 3: soplex access classes (paper: 18%/72% bimodal rorig, ~100% miss rperm, 66%/10%/24% cperm)");
+    let rows = motivation::fig03(slip_bench::bench_accesses());
+    print!("{}", motivation::fig03_table(&rows).render());
+}

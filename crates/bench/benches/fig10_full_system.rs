@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 10: full-system dynamic energy savings.
+
+use sim_engine::experiments::{energy, SuiteOptions, SuiteResults};
+use sim_engine::PolicyKind;
+
+fn main() {
+    slip_bench::print_header("Figure 10: full-system energy savings");
+    let suite = SuiteResults::run(
+        SuiteOptions::paper_full()
+            .with_policies(&[PolicyKind::Slip, PolicyKind::SlipAbp])
+            .with_accesses(slip_bench::bench_accesses()),
+    );
+    print!("{}", energy::fig10_table(&energy::fig10(&suite)).render());
+}

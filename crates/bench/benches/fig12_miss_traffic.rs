@@ -1,0 +1,15 @@
+//! Regenerates paper Figure 12: relative L2/L3 miss traffic including
+//! the SLIP metadata overhead.
+
+use sim_engine::experiments::{traffic, SuiteOptions, SuiteResults};
+use sim_engine::PolicyKind;
+
+fn main() {
+    slip_bench::print_header("Figure 12: relative miss traffic (demand + metadata)");
+    let suite = SuiteResults::run(
+        SuiteOptions::paper_full()
+            .with_policies(&[PolicyKind::Slip, PolicyKind::SlipAbp])
+            .with_accesses(slip_bench::bench_accesses()),
+    );
+    print!("{}", traffic::fig12_table(&traffic::fig12(&suite)).render());
+}

@@ -1,0 +1,14 @@
+//! Regenerates paper Figure 14: breakdown of insertions by SLIP class.
+
+use sim_engine::experiments::{traffic, SuiteOptions, SuiteResults};
+use sim_engine::PolicyKind;
+
+fn main() {
+    slip_bench::print_header("Figure 14: insertions by optimal SLIP class");
+    let suite = SuiteResults::run(
+        SuiteOptions::paper_full()
+            .with_policies(&[PolicyKind::SlipAbp])
+            .with_accesses(slip_bench::bench_accesses()),
+    );
+    print!("{}", traffic::fig14_table(&traffic::fig14(&suite)).render());
+}

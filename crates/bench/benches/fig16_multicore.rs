@@ -1,0 +1,10 @@
+//! Regenerates paper Figure 16: two-core multiprogrammed mixes with a
+//! shared L3.
+
+use sim_engine::experiments::multicore_exp;
+
+fn main() {
+    slip_bench::print_header("Figure 16: 2-core mixes, shared 2 MB L3");
+    let rows = multicore_exp::fig16(slip_bench::bench_accesses());
+    print!("{}", multicore_exp::fig16_table(&rows).render());
+}

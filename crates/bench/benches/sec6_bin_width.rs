@@ -1,0 +1,14 @@
+//! Regenerates the Section 6 bin-width sensitivity study
+//! (paper: 4 bits within 1% of wider widths; sharp drop at 2 bits).
+
+use sim_engine::experiments::sensitivity;
+
+fn main() {
+    slip_bench::print_header("Section 6: distribution bin-width sensitivity");
+    let rows = sensitivity::bin_width_sweep(
+        slip_bench::bench_accesses(),
+        &["soplex", "mcf", "lbm", "sphinx3", "gcc"],
+        &[2, 3, 4, 6, 8],
+    );
+    print!("{}", sensitivity::bin_width_table(&rows).render());
+}

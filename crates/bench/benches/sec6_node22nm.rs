@@ -1,0 +1,11 @@
+//! Regenerates the Section 6 node study: SLIP+ABP at 22 nm
+//! (paper: 36% L2 / 25% L3 savings).
+
+use sim_engine::experiments::energy;
+
+fn main() {
+    slip_bench::print_header("Section 6: 22 nm technology node, SLIP+ABP");
+    let (l2, l3) = energy::node22(slip_bench::bench_accesses(), &workloads::BENCHMARK_NAMES);
+    println!("mean L2 saving: {:.1}%   (paper: 36%)", l2 * 100.0);
+    println!("mean L3 saving: {:.1}%   (paper: 25%)", l3 * 100.0);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the Section 7 study: DRRIP/SHiP victim selection under
+//! SLIP preserves scan and thrash resistance.
+
+use sim_engine::experiments::sensitivity;
+
+fn main() {
+    slip_bench::print_header("Section 7: replacement policies under SLIP");
+    let rows = sensitivity::replacement_ablation(slip_bench::bench_accesses());
+    print!("{}", sensitivity::replacement_table(&rows).render());
+}

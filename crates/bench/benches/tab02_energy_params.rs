@@ -1,0 +1,11 @@
+//! Regenerates paper Table 2 and cross-checks it against the geometric
+//! wire model, plus the Section 5 EOU cost summary.
+
+use sim_engine::experiments::hardware;
+
+fn main() {
+    slip_bench::print_header("Table 2: energy parameters + EOU hardware cost");
+    print!("{}", hardware::tab02_table(&hardware::tab02()).render());
+    println!();
+    print!("{}", hardware::eou_table(&hardware::eou_summary()).render());
+}

@@ -1,0 +1,140 @@
+//! Per-line cache state and metadata.
+
+use crate::addr::LineAddr;
+
+/// State of one cache line (one way of one set).
+///
+/// Besides the architectural state (`addr`, `valid`, `dirty`), a line
+/// carries the metadata the paper's mechanisms need:
+///
+/// * `timestamp` — the 6-bit line timestamp TL used to measure reuse
+///   distances (paper §4.1); 12 b of SLIP metadata per line in total,
+///   together with `slip_codes`.
+/// * `slip_codes` — the 3 b SLIP of this line for L2 (`[0]`) and L3
+///   (`[1]`), copied alongside the line on insertion (paper Figure 7,
+///   step Ð) so evictions don't need to probe the TLB.
+/// * `sampling` — whether the line's page was in the sampling state when
+///   the line was filled.
+/// * `demoted` — LRU-PEA's demotion flag.
+/// * `rrpv`, `signature` — DRRIP / SHiP replacement state.
+/// * `hits_since_fill` — reuse counter feeding the Figure 1 histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineState {
+    /// Full line address (we store the address instead of a tag; the
+    /// simulator never aliases).
+    pub addr: LineAddr,
+    /// Whether the entry holds a line at all.
+    pub valid: bool,
+    /// Whether the line has been written since the last writeback.
+    pub dirty: bool,
+    /// Monotone sequence number of the last touch, for LRU.
+    pub lru_seq: u64,
+    /// 6-bit line timestamp TL (paper §4.1).
+    pub timestamp: u8,
+    /// 3 b SLIP codes for [L2, L3], carried with the line.
+    pub slip_codes: [u8; 2],
+    /// Whether the owning page was sampling at fill time.
+    pub sampling: bool,
+    /// LRU-PEA demotion flag.
+    pub demoted: bool,
+    /// DRRIP / SHiP re-reference prediction value (2 bits used).
+    pub rrpv: u8,
+    /// SHiP signature of the filling context.
+    pub signature: u16,
+    /// Hits received since this line was filled into the level.
+    pub hits_since_fill: u32,
+}
+
+impl LineState {
+    /// An invalid (empty) entry.
+    pub const INVALID: LineState = LineState {
+        addr: LineAddr(0),
+        valid: false,
+        dirty: false,
+        lru_seq: 0,
+        timestamp: 0,
+        slip_codes: [0, 0],
+        sampling: false,
+        demoted: false,
+        rrpv: 0,
+        signature: 0,
+        hits_since_fill: 0,
+    };
+
+    /// A fresh valid line for `addr`.
+    pub fn new(addr: LineAddr) -> Self {
+        LineState {
+            addr,
+            valid: true,
+            ..LineState::INVALID
+        }
+    }
+}
+
+impl Default for LineState {
+    fn default() -> Self {
+        LineState::INVALID
+    }
+}
+
+/// A line leaving a cache level, as reported by fill/eviction paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// Address of the evicted line.
+    pub addr: LineAddr,
+    /// Whether it must be written back.
+    pub dirty: bool,
+    /// SLIP codes carried by the line.
+    pub slip_codes: [u8; 2],
+    /// Whether the line's page was sampling at fill time.
+    pub sampling: bool,
+    /// Hits the line received during its residency.
+    pub hits_since_fill: u32,
+}
+
+impl EvictedLine {
+    /// Captures the outbound view of a line state.
+    pub fn from_state(s: &LineState) -> Self {
+        EvictedLine {
+            addr: s.addr,
+            dirty: s.dirty,
+            slip_codes: s.slip_codes,
+            sampling: s.sampling,
+            hits_since_fill: s.hits_since_fill,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_is_default() {
+        let d = LineState::default();
+        assert!(!d.valid);
+        assert_eq!(d, LineState::INVALID);
+    }
+
+    #[test]
+    fn new_line_is_clean_and_valid() {
+        let l = LineState::new(LineAddr(42));
+        assert!(l.valid);
+        assert!(!l.dirty);
+        assert_eq!(l.addr, LineAddr(42));
+        assert_eq!(l.hits_since_fill, 0);
+    }
+
+    #[test]
+    fn evicted_line_captures_state() {
+        let mut l = LineState::new(LineAddr(7));
+        l.dirty = true;
+        l.slip_codes = [3, 5];
+        l.hits_since_fill = 2;
+        let e = EvictedLine::from_state(&l);
+        assert_eq!(e.addr, LineAddr(7));
+        assert!(e.dirty);
+        assert_eq!(e.slip_codes, [3, 5]);
+        assert_eq!(e.hits_since_fill, 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Placement policies: where lines are inserted, demoted, and promoted.
+//!
+//! A [`PlacementPolicy`] decides *which ways* of a set may receive a line
+//! at three points of its life: initial insertion (fill), demotion (after
+//! being displaced), and promotion (on a hit). The cache controller
+//! ([`crate::CacheLevel`]) turns those way masks into actual victim
+//! selection, data movement, and energy charges. This split mirrors the
+//! paper: SLIP, NuRAPID, LRU-PEA, and the regular baseline are all
+//! placement policies over the same physical cache, differing only in the
+//! masks they return and the hooks they use.
+
+use crate::addr::LineAddr;
+use crate::geometry::{CacheGeometry, WayMask};
+use crate::line::LineState;
+
+/// SLIP class of a fill, for paper Figure 14.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsertionClass {
+    /// The All-Bypass Policy: the line skips the level entirely.
+    AllBypass,
+    /// A policy that bypasses one or more sublevels but not all.
+    PartialBypass,
+    /// The Default SLIP: one chunk of all sublevels (a regular cache).
+    Default,
+    /// Any other policy (uses all sublevels, split into several chunks).
+    Other,
+}
+
+impl InsertionClass {
+    /// Dense index for histogramming (order: ABP, partial, default, other).
+    pub fn index(self) -> usize {
+        match self {
+            InsertionClass::AllBypass => 0,
+            InsertionClass::PartialBypass => 1,
+            InsertionClass::Default => 2,
+            InsertionClass::Other => 3,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            InsertionClass::AllBypass => "ABP",
+            InsertionClass::PartialBypass => "partial-bypass",
+            InsertionClass::Default => "default",
+            InsertionClass::Other => "others",
+        }
+    }
+}
+
+/// A line arriving at a level from below (DRAM) or above (writeback
+/// allocate), about to be placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FillRequest {
+    /// Line being filled.
+    pub addr: LineAddr,
+    /// Whether the incoming copy is already dirty.
+    pub dirty: bool,
+    /// 3 b SLIP codes for [L2, L3], from the TLB/PTE.
+    pub slip_codes: [u8; 2],
+    /// Whether the line's page is in the sampling state.
+    pub sampling: bool,
+    /// SHiP signature of the requesting context.
+    pub signature: u16,
+}
+
+impl FillRequest {
+    /// A plain fill request with no SLIP metadata attached.
+    pub fn new(addr: LineAddr) -> Self {
+        FillRequest {
+            addr,
+            dirty: false,
+            slip_codes: [0, 0],
+            sampling: false,
+            signature: 0,
+        }
+    }
+}
+
+/// Decides placement of lines within one cache level.
+///
+/// All mask-returning methods may assume the mask is interpreted within
+/// the set of the line in question. Returning `None` from
+/// [`insertion_mask`](Self::insertion_mask) bypasses the level;
+/// returning `None` from [`demotion_mask`](Self::demotion_mask) evicts
+/// the line from the level; returning `None` from
+/// [`promotion_mask`](Self::promotion_mask) leaves the line where it is.
+pub trait PlacementPolicy {
+    /// Human-readable policy name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Ways eligible for the initial insertion of `req`, or `None` to
+    /// bypass the level.
+    fn insertion_mask(&mut self, geom: &CacheGeometry, req: &FillRequest) -> Option<WayMask>;
+
+    /// Ways an evicted `line` (displaced from `from_way`) may move into,
+    /// or `None` to evict it from the level.
+    fn demotion_mask(
+        &mut self,
+        geom: &CacheGeometry,
+        line: &LineState,
+        from_way: usize,
+    ) -> Option<WayMask>;
+
+    /// Ways the line at `hit_way` should be promoted into on a hit, or
+    /// `None` to leave it in place. Promotion is performed as a swap with
+    /// a victim selected in the returned mask.
+    fn promotion_mask(
+        &mut self,
+        _geom: &CacheGeometry,
+        _line: &LineState,
+        _hit_way: usize,
+    ) -> Option<WayMask> {
+        None
+    }
+
+    /// Classifies a fill for the Figure 14 histogram.
+    fn classify_insertion(&self, _geom: &CacheGeometry, _req: &FillRequest) -> InsertionClass {
+        InsertionClass::Default
+    }
+
+    /// Hook called when a promotion swaps two valid lines, letting the
+    /// policy mark state on them (LRU-PEA marks the displaced line
+    /// demoted).
+    fn on_promotion_swap(&mut self, _promoted: &mut LineState, _demoted: &mut LineState) {}
+
+    /// Whether this policy moves lines and therefore needs the movement
+    /// queue probed on every lookup (0.3 pJ per lookup, paper Section 5).
+    fn uses_movement_queue(&self) -> bool {
+        false
+    }
+
+    /// Whether this policy reads/writes the 12 b per-line SLIP metadata
+    /// (two 3 b SLIPs + 6 b timestamp) on accesses and fills, paying the
+    /// Table 2 metadata access energy each time.
+    fn uses_line_metadata(&self) -> bool {
+        false
+    }
+}
+
+/// The regular cache hierarchy of the paper's comparisons: insert
+/// anywhere (victim chosen by the replacement policy over all ways),
+/// never move lines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BaselinePolicy;
+
+impl BaselinePolicy {
+    /// Creates the baseline policy.
+    pub fn new() -> Self {
+        BaselinePolicy
+    }
+}
+
+impl PlacementPolicy for BaselinePolicy {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn insertion_mask(&mut self, geom: &CacheGeometry, _req: &FillRequest) -> Option<WayMask> {
+        Some(WayMask::full(geom.ways))
+    }
+
+    fn demotion_mask(
+        &mut self,
+        _geom: &CacheGeometry,
+        _line: &LineState,
+        _from_way: usize,
+    ) -> Option<WayMask> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energy_model::Energy;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::uniform(16, 8, Energy::from_pj(1.0), 1)
+    }
+
+    #[test]
+    fn baseline_inserts_anywhere_and_never_moves() {
+        let g = geom();
+        let mut p = BaselinePolicy::new();
+        let req = FillRequest::new(LineAddr(3));
+        assert_eq!(p.insertion_mask(&g, &req), Some(WayMask::full(8)));
+        let line = LineState::new(LineAddr(3));
+        assert_eq!(p.demotion_mask(&g, &line, 0), None);
+        assert_eq!(p.promotion_mask(&g, &line, 0), None);
+        assert!(!p.uses_movement_queue());
+        assert_eq!(p.classify_insertion(&g, &req), InsertionClass::Default);
+    }
+
+    #[test]
+    fn insertion_class_indices_are_dense() {
+        let classes = [
+            InsertionClass::AllBypass,
+            InsertionClass::PartialBypass,
+            InsertionClass::Default,
+            InsertionClass::Other,
+        ];
+        for (i, c) in classes.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert!(!c.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Replacement policies: choosing a victim among candidate ways.
+//!
+//! SLIP is orthogonal to replacement (paper Section 3): a placement
+//! policy narrows the candidate ways to a chunk, then the replacement
+//! policy picks the victim within it. Besides the paper's evaluation
+//! default (LRU) this module provides Random, DRRIP, and SHiP; the two
+//! RRIP policies implement the Section 7 adaptation (per-way RRPV state
+//! works unchanged when victimization is restricted to a chunk).
+
+use crate::geometry::WayMask;
+use crate::line::LineState;
+use crate::rng::SplitMix64;
+
+/// Chooses victims among candidate ways of a set.
+///
+/// `set` is the full slice of ways of one set; `candidates` is never
+/// empty and contains only valid lines (the controller fills invalid ways
+/// first without consulting the policy).
+pub trait ReplacementPolicy {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// Picks the victim way among `candidates`.
+    fn choose_victim(
+        &mut self,
+        set_index: usize,
+        set: &mut [LineState],
+        candidates: WayMask,
+    ) -> usize;
+
+    /// Called on every hit.
+    fn on_hit(&mut self, _set_index: usize, _set: &mut [LineState], _way: usize) {}
+
+    /// Called after a line is filled into `way` (insertion or movement).
+    fn on_fill(&mut self, _set_index: usize, _set: &mut [LineState], _way: usize) {}
+
+    /// Called on every miss at this level.
+    fn on_miss(&mut self, _set_index: usize) {}
+
+    /// Called when a line leaves the level entirely.
+    fn on_evict(&mut self, _line: &LineState) {}
+}
+
+/// Least-recently-used replacement, the paper's evaluation default.
+///
+/// Recency is tracked with the monotone `lru_seq` stamps the cache
+/// controller writes on every touch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Lru;
+
+impl Lru {
+    /// Creates an LRU policy.
+    pub fn new() -> Self {
+        Lru
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+
+    fn choose_victim(
+        &mut self,
+        _set_index: usize,
+        set: &mut [LineState],
+        candidates: WayMask,
+    ) -> usize {
+        candidates
+            .iter()
+            .min_by_key(|&w| set[w].lru_seq)
+            .expect("candidate mask must not be empty")
+    }
+}
+
+/// Uniform-random replacement (a sanity baseline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomReplacement {
+    rng: SplitMix64,
+}
+
+impl RandomReplacement {
+    /// Creates a random replacement policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RandomReplacement {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl ReplacementPolicy for RandomReplacement {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn choose_victim(
+        &mut self,
+        _set_index: usize,
+        _set: &mut [LineState],
+        candidates: WayMask,
+    ) -> usize {
+        let n = candidates.count() as u64;
+        let k = self.rng.next_below(n) as usize;
+        candidates.iter().nth(k).expect("index within mask")
+    }
+}
+
+/// Maximum RRPV for 2-bit RRIP (“distant re-reference”).
+const RRPV_MAX: u8 = 3;
+/// RRPV given to hits (“near-immediate re-reference”).
+const RRPV_HIT: u8 = 0;
+/// RRPV for “long re-reference interval” insertion.
+const RRPV_LONG: u8 = 2;
+
+/// DRRIP (Dynamic Re-Reference Interval Prediction), Jaleel et al.,
+/// ISCA 2010, with 2-bit RRPVs and set dueling between SRRIP and BRRIP.
+///
+/// Section 7 of the SLIP paper argues DRRIP composes with SLIP because
+/// victimization within a chunk preserves scan and thrash resistance;
+/// the `sec7_replacement_ablation` bench exercises exactly that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Drrip {
+    rng: SplitMix64,
+    /// Policy-selection counter: high means BRRIP is winning.
+    psel: i32,
+    psel_max: i32,
+    /// Every `dueling_modulus`-th set leads for SRRIP; the next one for
+    /// BRRIP.
+    dueling_modulus: usize,
+}
+
+impl Drrip {
+    /// Creates a DRRIP policy with the given seed.
+    pub fn new(seed: u64) -> Self {
+        Drrip {
+            rng: SplitMix64::new(seed),
+            psel: 0,
+            psel_max: 512,
+            dueling_modulus: 32,
+        }
+    }
+
+    fn set_role(&self, set_index: usize) -> SetRole {
+        match set_index % self.dueling_modulus {
+            0 => SetRole::SrripLeader,
+            1 => SetRole::BrripLeader,
+            _ => SetRole::Follower,
+        }
+    }
+
+    fn brrip_active(&self, set_index: usize) -> bool {
+        match self.set_role(set_index) {
+            SetRole::SrripLeader => false,
+            SetRole::BrripLeader => true,
+            SetRole::Follower => self.psel < 0,
+        }
+    }
+
+    fn rrip_victim(set: &mut [LineState], candidates: WayMask) -> usize {
+        loop {
+            if let Some(w) = candidates.iter().find(|&w| set[w].rrpv >= RRPV_MAX) {
+                return w;
+            }
+            for w in candidates.iter() {
+                set[w].rrpv += 1;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SetRole {
+    SrripLeader,
+    BrripLeader,
+    Follower,
+}
+
+impl ReplacementPolicy for Drrip {
+    fn name(&self) -> &'static str {
+        "DRRIP"
+    }
+
+    fn choose_victim(
+        &mut self,
+        _set_index: usize,
+        set: &mut [LineState],
+        candidates: WayMask,
+    ) -> usize {
+        Self::rrip_victim(set, candidates)
+    }
+
+    fn on_hit(&mut self, _set_index: usize, set: &mut [LineState], way: usize) {
+        set[way].rrpv = RRPV_HIT;
+    }
+
+    fn on_fill(&mut self, set_index: usize, set: &mut [LineState], way: usize) {
+        let brrip = self.brrip_active(set_index);
+        set[way].rrpv = if brrip {
+            // BRRIP: distant except for a 1/32 trickle of long insertions.
+            if self.rng.one_in(32) {
+                RRPV_LONG
+            } else {
+                RRPV_MAX
+            }
+        } else {
+            RRPV_LONG
+        };
+    }
+
+    fn on_miss(&mut self, set_index: usize) {
+        // A miss in a leader set is a vote against that leader's policy.
+        match self.set_role(set_index) {
+            SetRole::SrripLeader => self.psel = (self.psel - 1).max(-self.psel_max),
+            SetRole::BrripLeader => self.psel = (self.psel + 1).min(self.psel_max),
+            SetRole::Follower => {}
+        }
+    }
+}
+
+/// SHiP (Signature-based Hit Predictor), Wu et al., MICRO 2011, with a
+/// memory-region (page) signature and a 3-bit saturating SHCT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ship {
+    shct: Vec<u8>,
+}
+
+/// Number of SHCT entries (indexed by the low bits of the signature).
+const SHCT_ENTRIES: usize = 16 * 1024;
+/// SHCT saturation maximum (3-bit counters).
+const SHCT_MAX: u8 = 7;
+
+impl Ship {
+    /// Creates a SHiP policy with a weakly-reusing prior.
+    pub fn new() -> Self {
+        Ship {
+            shct: vec![1; SHCT_ENTRIES],
+        }
+    }
+
+    fn slot(&mut self, signature: u16) -> &mut u8 {
+        &mut self.shct[signature as usize % SHCT_ENTRIES]
+    }
+}
+
+impl Default for Ship {
+    fn default() -> Self {
+        Ship::new()
+    }
+}
+
+impl ReplacementPolicy for Ship {
+    fn name(&self) -> &'static str {
+        "SHiP"
+    }
+
+    fn choose_victim(
+        &mut self,
+        _set_index: usize,
+        set: &mut [LineState],
+        candidates: WayMask,
+    ) -> usize {
+        Drrip::rrip_victim(set, candidates)
+    }
+
+    fn on_hit(&mut self, _set_index: usize, set: &mut [LineState], way: usize) {
+        set[way].rrpv = RRPV_HIT;
+        let sig = set[way].signature;
+        let slot = self.slot(sig);
+        *slot = (*slot + 1).min(SHCT_MAX);
+    }
+
+    fn on_fill(&mut self, _set_index: usize, set: &mut [LineState], way: usize) {
+        let sig = set[way].signature;
+        let predicted_dead = *self.slot(sig) == 0;
+        set[way].rrpv = if predicted_dead { RRPV_MAX } else { RRPV_LONG };
+    }
+
+    fn on_evict(&mut self, line: &LineState) {
+        if line.hits_since_fill == 0 {
+            let slot = self.slot(line.signature);
+            *slot = slot.saturating_sub(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LineAddr;
+
+    fn set_of(n: usize) -> Vec<LineState> {
+        (0..n)
+            .map(|i| {
+                let mut l = LineState::new(LineAddr(i as u64));
+                l.lru_seq = i as u64;
+                l
+            })
+            .collect()
+    }
+
+    #[test]
+    fn lru_picks_oldest_candidate() {
+        let mut set = set_of(8);
+        set[3].lru_seq = 100;
+        set[5].lru_seq = 1;
+        let mut lru = Lru::new();
+        // Among ways 3..8, way 5 is oldest.
+        let v = lru.choose_victim(0, &mut set, WayMask::from_range(3..8));
+        assert_eq!(v, 5);
+        // Restricted to ways 3..5, way 4 (seq 4) is oldest.
+        let v = lru.choose_victim(0, &mut set, WayMask::from_range(3..5));
+        assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn random_stays_within_candidates() {
+        let mut set = set_of(8);
+        let mut r = RandomReplacement::new(9);
+        let mask = WayMask::from_range(2..6);
+        for _ in 0..1000 {
+            let v = r.choose_victim(0, &mut set, mask);
+            assert!(mask.contains(v));
+        }
+    }
+
+    #[test]
+    fn drrip_victim_prefers_distant_rrpv() {
+        let mut set = set_of(4);
+        set[2].rrpv = RRPV_MAX;
+        let mut d = Drrip::new(1);
+        assert_eq!(d.choose_victim(5, &mut set, WayMask::full(4)), 2);
+    }
+
+    #[test]
+    fn drrip_ages_when_no_distant_line() {
+        let mut set = set_of(4);
+        for l in set.iter_mut() {
+            l.rrpv = 1;
+        }
+        let mut d = Drrip::new(1);
+        let v = d.choose_victim(5, &mut set, WayMask::full(4));
+        // Aging increments everyone to RRPV_MAX eventually; the lowest
+        // way index wins the scan.
+        assert_eq!(v, 0);
+        assert!(set.iter().all(|l| l.rrpv == RRPV_MAX));
+    }
+
+    #[test]
+    fn drrip_hit_resets_rrpv() {
+        let mut set = set_of(4);
+        set[1].rrpv = 3;
+        let mut d = Drrip::new(1);
+        d.on_hit(0, &mut set, 1);
+        assert_eq!(set[1].rrpv, RRPV_HIT);
+    }
+
+    #[test]
+    fn drrip_set_dueling_flips_insertion() {
+        let mut d = Drrip::new(1);
+        // Misses in the BRRIP leader push psel up => SRRIP for followers.
+        for _ in 0..100 {
+            d.on_miss(1);
+        }
+        assert!(!d.brrip_active(2));
+        // Misses in the SRRIP leader push psel down => BRRIP for followers.
+        for _ in 0..300 {
+            d.on_miss(0);
+        }
+        assert!(d.brrip_active(2));
+        // Leaders always use their own policy.
+        assert!(!d.brrip_active(0));
+        assert!(d.brrip_active(1));
+    }
+
+    #[test]
+    fn ship_learns_dead_signatures() {
+        let mut s = Ship::new();
+        let mut set = set_of(4);
+        set[0].signature = 77;
+        // A line with signature 77 dies without reuse => SHCT decremented
+        // to zero => next fill with that signature predicted dead.
+        s.on_evict(&set[0]);
+        set[1].signature = 77;
+        s.on_fill(0, &mut set, 1);
+        assert_eq!(set[1].rrpv, RRPV_MAX);
+        // A hit trains the signature back up.
+        s.on_hit(0, &mut set, 1);
+        set[2].signature = 77;
+        s.on_fill(0, &mut set, 2);
+        assert_eq!(set[2].rrpv, RRPV_LONG);
+    }
+
+    #[test]
+    fn ship_ignores_reused_evictions() {
+        let mut s = Ship::new();
+        let mut line = LineState::new(LineAddr(1));
+        line.signature = 5;
+        line.hits_since_fill = 3;
+        s.on_evict(&line);
+        // Counter untouched (still the prior of 1): next fill is LONG.
+        let mut set = set_of(2);
+        set[0].signature = 5;
+        s.on_fill(0, &mut set, 0);
+        assert_eq!(set[0].rrpv, RRPV_LONG);
+    }
+}

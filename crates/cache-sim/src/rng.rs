@@ -1,0 +1,156 @@
+//! A tiny deterministic RNG (SplitMix64).
+//!
+//! The simulator needs cheap, seedable, dependency-free randomness for
+//! replacement tie-breaking, LRU-PEA's random-sublevel insertion, DRRIP's
+//! bimodal insertion, and SLIP's time-based sampling transitions.
+//! SplitMix64 passes BigCrush for these purposes and makes every
+//! simulation reproducible from its seed.
+
+/// SplitMix64 pseudo-random number generator.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::rng::SplitMix64;
+///
+/// let mut a = SplitMix64::new(42);
+/// let mut b = SplitMix64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[inline]
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        // Multiply-shift rejection-free mapping; bias is < 2^-32 for the
+        // small bounds used here.
+        ((self.next_u64() >> 32).wrapping_mul(bound)) >> 32
+    }
+
+    /// `true` with probability `1/denominator`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `denominator` is zero.
+    #[inline]
+    pub fn one_in(&mut self, denominator: u64) -> bool {
+        self.next_below(denominator) == 0
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Picks an index in `0..weights.len()` with probability proportional
+    /// to the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn pick_weighted(&mut self, weights: &[u64]) -> usize {
+        let total: u64 = weights.iter().sum();
+        assert!(total > 0, "weights must not sum to zero");
+        let mut x = self.next_below(total);
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return i;
+            }
+            x -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_is_in_range() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..10_000 {
+            assert!(r.next_below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn one_in_probability_roughly_matches() {
+        let mut r = SplitMix64::new(4);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| r.one_in(16)).count();
+        let expect = n as f64 / 16.0;
+        assert!(
+            (hits as f64 - expect).abs() < expect * 0.15,
+            "hits {hits} vs expect {expect}"
+        );
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitMix64::new(5);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn pick_weighted_follows_weights() {
+        let mut r = SplitMix64::new(6);
+        let mut counts = [0u64; 3];
+        for _ in 0..60_000 {
+            counts[r.pick_weighted(&[1, 1, 2])] += 1;
+        }
+        // Expect roughly 15k/15k/30k.
+        assert!((counts[0] as f64 - 15_000.0).abs() < 1500.0);
+        assert!((counts[2] as f64 - 30_000.0).abs() < 2000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_rejects_zero() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the cache substrate: replacement-policy
+//! contracts, demotion-cascade termination, and LRU semantics under
+//! arbitrary access patterns.
+
+use cache_sim::policy::{FillRequest, InsertionClass, PlacementPolicy};
+use cache_sim::{
+    AccessClass, AccessKind, CacheGeometry, CacheLevel, Drrip, LineAddr, LineState, Lru,
+    ReplacementPolicy, Ship, WayMask,
+};
+use energy_model::Energy;
+use proptest::prelude::*;
+
+fn geom_2level() -> CacheGeometry {
+    CacheGeometry::from_sublevels(
+        16,
+        &[(4, Energy::from_pj(10.0), 2), (12, Energy::from_pj(40.0), 6)],
+    )
+}
+
+/// A placement policy that always demotes one sublevel further,
+/// exercising the cascade machinery.
+#[derive(Debug)]
+struct CascadePolicy;
+
+impl PlacementPolicy for CascadePolicy {
+    fn name(&self) -> &'static str {
+        "cascade"
+    }
+
+    fn insertion_mask(&mut self, geom: &CacheGeometry, _req: &FillRequest) -> Option<WayMask> {
+        Some(geom.sublevel_ways(0))
+    }
+
+    fn demotion_mask(
+        &mut self,
+        geom: &CacheGeometry,
+        _line: &LineState,
+        from_way: usize,
+    ) -> Option<WayMask> {
+        let s = geom.sublevel(from_way);
+        if s + 1 < geom.sublevels() {
+            Some(geom.sublevel_ways(s + 1))
+        } else {
+            None
+        }
+    }
+
+    fn classify_insertion(&self, _geom: &CacheGeometry, _req: &FillRequest) -> InsertionClass {
+        InsertionClass::Other
+    }
+}
+
+proptest! {
+    /// LRU always evicts the least-recently-touched candidate.
+    #[test]
+    fn lru_contract(seqs in prop::collection::vec(0u64..1_000_000, 4..16)) {
+        let mut set: Vec<LineState> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let mut l = LineState::new(LineAddr(i as u64));
+                l.lru_seq = s;
+                l
+            })
+            .collect();
+        let n = set.len();
+        let mut lru = Lru::new();
+        let victim = lru.choose_victim(0, &mut set, WayMask::full(n));
+        let min = set.iter().map(|l| l.lru_seq).min().unwrap();
+        prop_assert_eq!(set[victim].lru_seq, min);
+    }
+
+    /// DRRIP and SHiP victims always come from the candidate mask.
+    #[test]
+    fn rrip_victims_stay_in_mask(
+        rrpvs in prop::collection::vec(0u8..4, 8),
+        mask_bits in 1u32..255,
+    ) {
+        let mut set: Vec<LineState> = rrpvs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                let mut l = LineState::new(LineAddr(i as u64));
+                l.rrpv = r;
+                l
+            })
+            .collect();
+        let mask = WayMask::from_bits(mask_bits & 0xFF);
+        prop_assume!(!mask.is_empty());
+        let mut drrip = Drrip::new(7);
+        let v = drrip.choose_victim(0, &mut set, mask);
+        prop_assert!(mask.contains(v));
+        let mut set2 = set.clone();
+        let mut ship = Ship::new();
+        let v = ship.choose_victim(0, &mut set2, mask);
+        prop_assert!(mask.contains(v));
+    }
+
+    /// Demotion cascades always terminate and conserve lines: the
+    /// number of resident lines only grows by successful insertions.
+    #[test]
+    fn cascades_terminate_and_conserve_lines(
+        addrs in prop::collection::vec(0u64..4096, 1..400),
+    ) {
+        let mut cache = CacheLevel::new("c", geom_2level());
+        let mut policy = CascadePolicy;
+        let mut repl = Lru::new();
+        let mut inserted = 0u64;
+        let mut departed = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            let line = LineAddr(a);
+            let hit = cache
+                .access(line, AccessKind::Read, AccessClass::Demand, i as u64, &mut policy, &mut repl)
+                .is_hit();
+            if !hit {
+                let out = cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
+                prop_assert!(!out.bypassed);
+                inserted += 1;
+                departed += out.evicted().count() as u64;
+            }
+        }
+        prop_assert_eq!(cache.resident_lines() as u64, inserted - departed);
+        // Demotions were exercised whenever lines left the level.
+        if departed > 0 {
+            prop_assert!(cache.stats.movements > 0);
+        }
+    }
+
+    /// A line is always findable right after its fill, and the way it
+    /// occupies is within the policy's insertion mask.
+    #[test]
+    fn fills_land_in_the_insertion_mask(addrs in prop::collection::vec(0u64..512, 1..200)) {
+        let mut cache = CacheLevel::new("c", geom_2level());
+        let mut policy = CascadePolicy;
+        let mut repl = Lru::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let line = LineAddr(a);
+            if cache.probe_way(line).is_none() {
+                cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
+                let way = cache.probe_way(line).expect("just filled");
+                // CascadePolicy inserts into sublevel 0 only.
+                prop_assert_eq!(cache.geometry().sublevel(way), 0);
+            }
+        }
+    }
+
+    /// Energy accounting is monotone: more accesses never reduce any
+    /// category.
+    #[test]
+    fn energy_is_monotone(addrs in prop::collection::vec(0u64..2048, 2..100)) {
+        let mut cache = CacheLevel::new("c", geom_2level());
+        let mut policy = CascadePolicy;
+        let mut repl = Lru::new();
+        let mut prev = Energy::ZERO;
+        for (i, &a) in addrs.iter().enumerate() {
+            let line = LineAddr(a);
+            let hit = cache
+                .access(line, AccessKind::Read, AccessClass::Demand, i as u64, &mut policy, &mut repl)
+                .is_hit();
+            if !hit {
+                cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
+            }
+            let total = cache.energy.total();
+            prop_assert!(total >= prev);
+            prev = total;
+        }
+    }
+}

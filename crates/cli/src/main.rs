@@ -1,0 +1,396 @@
+//! `slip` — command-line driver for the SLIP cache-energy simulator.
+//!
+//! ```text
+//! slip list                                  the built-in workloads
+//! slip run <workload|file.trc> [options]     one simulation, full metrics
+//! slip compare <workload> [options]          all five policies side by side
+//! slip mix <bench_a> <bench_b> [options]     two cores, shared L3
+//! slip record <workload> <out.trc> [options] dump a synthetic trace
+//!
+//! options:
+//!   --policy <baseline|nurapid|lru-pea|slip|slip-abp>   (default slip-abp)
+//!   --accesses <N>                                      (default 1000000)
+//!   --seed <N>                                          (default 0x511b)
+//!   --replacement <lru|drrip|ship>                      (default lru)
+//!   --inclusive                                         model an inclusive LLC
+//!   --csv <path>                                        also write metrics as CSV
+//! ```
+
+use sim_engine::config::{PolicyKind, ReplacementKind, SystemConfig};
+use sim_engine::multicore::run_mix;
+use sim_engine::system::run_workload;
+use sim_engine::{SimResult, SingleCoreSystem};
+use std::io::Write as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  slip list
+  slip run <workload|file.trc> [--policy P] [--accesses N] [--seed S]
+           [--replacement R] [--inclusive] [--csv out.csv]
+  slip compare <workload> [--accesses N] [--seed S]
+  slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
+  slip record <workload> <out.trc> [--accesses N] [--seed S]";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("mix") => cmd_mix(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".to_owned()),
+    }
+}
+
+/// Parsed common options.
+struct Options {
+    positional: Vec<String>,
+    policy: PolicyKind,
+    replacement: ReplacementKind,
+    accesses: u64,
+    seed: u64,
+    inclusive: bool,
+    csv: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut o = Options {
+        positional: Vec::new(),
+        policy: PolicyKind::SlipAbp,
+        replacement: ReplacementKind::Lru,
+        accesses: 1_000_000,
+        seed: 0x511b,
+        inclusive: false,
+        csv: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--policy" => {
+                o.policy = match value("--policy")?.as_str() {
+                    "baseline" => PolicyKind::Baseline,
+                    "nurapid" => PolicyKind::NuRapid,
+                    "lru-pea" => PolicyKind::LruPea,
+                    "slip" => PolicyKind::Slip,
+                    "slip-abp" => PolicyKind::SlipAbp,
+                    other => return Err(format!("unknown policy {other:?}")),
+                }
+            }
+            "--replacement" => {
+                o.replacement = match value("--replacement")?.as_str() {
+                    "lru" => ReplacementKind::Lru,
+                    "drrip" => ReplacementKind::Drrip,
+                    "ship" => ReplacementKind::Ship,
+                    other => return Err(format!("unknown replacement {other:?}")),
+                }
+            }
+            "--accesses" => {
+                o.accesses = value("--accesses")?
+                    .parse()
+                    .map_err(|e| format!("--accesses: {e}"))?
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                o.seed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("--seed: {e}"))?
+                } else {
+                    v.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+            }
+            "--inclusive" => o.inclusive = true,
+            "--csv" => o.csv = Some(value("--csv")?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option {other:?}"))
+            }
+            _ => o.positional.push(a.clone()),
+        }
+    }
+    Ok(o)
+}
+
+fn config_from(o: &Options) -> SystemConfig {
+    let mut c = SystemConfig::paper_45nm(o.policy);
+    c.replacement = o.replacement;
+    c.inclusive_llc = o.inclusive;
+    c.seed = o.seed;
+    c
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("built-in workloads (synthetic SPEC-CPU2006-like profiles):");
+    for name in workloads::BENCHMARK_NAMES {
+        let spec = workloads::workload(name).expect("known");
+        println!("  {name:<12} {} phase(s)", spec.phases().len());
+    }
+    println!("\ntwo-core mixes (paper Figure 16): ");
+    for (a, b) in workloads::MULTICORE_MIXES {
+        println!("  {a}+{b}");
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args)?;
+    let [target] = o.positional.as_slice() else {
+        return Err("run needs exactly one workload or trace file".to_owned());
+    };
+    let result = if target.ends_with(".trc") {
+        let reader = workloads::io::read_trace(target).map_err(|e| e.to_string())?;
+        let mut system = SingleCoreSystem::new(config_from(&o));
+        for access in reader {
+            system.step(access.map_err(|e| e.to_string())?);
+        }
+        system.finish(target.clone())
+    } else {
+        let spec = workloads::workload(target)
+            .ok_or_else(|| format!("unknown workload {target:?} (try `slip list`)"))?;
+        run_workload(config_from(&o), &spec, o.accesses)
+    };
+    print_result(&result);
+    if let Some(path) = &o.csv {
+        write_csv(path, &result).map_err(|e| e.to_string())?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}
+
+fn print_result(r: &SimResult) {
+    println!("workload {}   policy {}   accesses {}", r.workload, r.policy, r.accesses);
+    println!("cycles {}   IPC {:.3}", r.cycles, r.ipc());
+    println!();
+    println!("                 L1           L2           L3");
+    println!(
+        "hit rate    {:>8.1}%    {:>8.1}%    {:>8.1}%",
+        r.l1_stats.demand_hit_rate() * 100.0,
+        r.l2_stats.demand_hit_rate() * 100.0,
+        r.l3_stats.demand_hit_rate() * 100.0
+    );
+    println!(
+        "energy      {:>9}    {:>9}    {:>9}",
+        format!("{}", r.l1_energy.total()),
+        format!("{}", r.l2_total_energy()),
+        format!("{}", r.l3_total_energy())
+    );
+    println!(
+        "movements   {:>9}    {:>9}    {:>9}",
+        "-", r.l2_stats.movements, r.l3_stats.movements
+    );
+    println!(
+        "bypasses    {:>9}    {:>9}    {:>9}",
+        "-", r.l2_stats.bypasses, r.l3_stats.bypasses
+    );
+    println!();
+    println!(
+        "DRAM: {} reads, {} writes, {} metadata transfers, {}",
+        r.dram_reads,
+        r.dram_writes,
+        r.dram_metadata_reads + r.dram_metadata_writes,
+        r.dram_energy.total()
+    );
+    if let Some(m) = r.mmu_stats {
+        println!(
+            "MMU: {} TLB misses, {} metadata fetches, {} SLIP recomputes, EOU {}",
+            m.tlb_misses, m.metadata_fetches, m.slip_recomputes, r.eou_energy
+        );
+    }
+    println!("full-system energy: {}", r.full_system_energy());
+}
+
+fn write_csv(path: &str, r: &SimResult) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "metric,value")?;
+    writeln!(f, "workload,{}", r.workload)?;
+    writeln!(f, "policy,{}", r.policy)?;
+    writeln!(f, "accesses,{}", r.accesses)?;
+    writeln!(f, "cycles,{}", r.cycles)?;
+    writeln!(f, "l1_hit_rate,{}", r.l1_stats.demand_hit_rate())?;
+    writeln!(f, "l2_hit_rate,{}", r.l2_stats.demand_hit_rate())?;
+    writeln!(f, "l3_hit_rate,{}", r.l3_stats.demand_hit_rate())?;
+    writeln!(f, "l2_energy_pj,{}", r.l2_total_energy().as_pj())?;
+    writeln!(f, "l3_energy_pj,{}", r.l3_total_energy().as_pj())?;
+    writeln!(f, "l2_movements,{}", r.l2_stats.movements)?;
+    writeln!(f, "l3_movements,{}", r.l3_stats.movements)?;
+    writeln!(f, "l2_bypasses,{}", r.l2_stats.bypasses)?;
+    writeln!(f, "l3_bypasses,{}", r.l3_stats.bypasses)?;
+    writeln!(f, "dram_reads,{}", r.dram_reads)?;
+    writeln!(f, "dram_writes,{}", r.dram_writes)?;
+    writeln!(
+        f,
+        "dram_metadata_transfers,{}",
+        r.dram_metadata_reads + r.dram_metadata_writes
+    )?;
+    writeln!(f, "dram_energy_pj,{}", r.dram_energy.total().as_pj())?;
+    writeln!(f, "eou_energy_pj,{}", r.eou_energy.as_pj())?;
+    writeln!(f, "full_system_energy_pj,{}", r.full_system_energy().as_pj())?;
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args)?;
+    let [name] = o.positional.as_slice() else {
+        return Err("compare needs exactly one workload".to_owned());
+    };
+    let spec = workloads::workload(name)
+        .ok_or_else(|| format!("unknown workload {name:?} (try `slip list`)"))?;
+    println!("workload {name}, {} accesses\n", o.accesses);
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>9} {:>9} {:>11}",
+        "policy", "L2 energy", "L3 energy", "L2 sav", "L3 sav", "speedup", "DRAM xfers"
+    );
+    let mut cfg = config_from(&o);
+    cfg.policy = PolicyKind::Baseline;
+    let baseline = run_workload(cfg, &spec, o.accesses);
+    for policy in PolicyKind::ALL {
+        let r = if policy == PolicyKind::Baseline {
+            baseline.clone()
+        } else {
+            let mut cfg = config_from(&o);
+            cfg.policy = policy;
+            run_workload(cfg, &spec, o.accesses)
+        };
+        println!(
+            "{:<10} {:>12} {:>12} {:>8.1}% {:>8.1}% {:>8.2}% {:>11}",
+            policy.label(),
+            format!("{}", r.l2_total_energy()),
+            format!("{}", r.l3_total_energy()),
+            (1.0 - r.l2_total_energy() / baseline.l2_total_energy()) * 100.0,
+            (1.0 - r.l3_total_energy() / baseline.l3_total_energy()) * 100.0,
+            (r.speedup_vs(&baseline) - 1.0) * 100.0,
+            r.dram_total_traffic(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_mix(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args)?;
+    let [a, b] = o.positional.as_slice() else {
+        return Err("mix needs exactly two workloads".to_owned());
+    };
+    let spec_a = workloads::workload(a).ok_or_else(|| format!("unknown workload {a:?}"))?;
+    let spec_b = workloads::workload(b).ok_or_else(|| format!("unknown workload {b:?}"))?;
+    let mut base_cfg = config_from(&o);
+    base_cfg.policy = PolicyKind::Baseline;
+    let base = run_mix(base_cfg, &spec_a, &spec_b, o.accesses);
+    let mut slip_cfg = config_from(&o);
+    slip_cfg.policy = o.policy;
+    let slip = run_mix(slip_cfg, &spec_a, &spec_b, o.accesses);
+    println!("mix {a}+{b}, {} accesses/core, shared 2 MB L3", o.accesses);
+    println!(
+        "L3 energy: baseline {} -> {} {} ({:+.1}%)",
+        base.l3_energy,
+        o.policy.label(),
+        slip.l3_energy,
+        (slip.l3_energy / base.l3_energy - 1.0) * 100.0
+    );
+    println!(
+        "L2+L3 energy: {} -> {} ({:+.1}%)",
+        base.l2_plus_l3_energy(),
+        slip.l2_plus_l3_energy(),
+        (slip.l2_plus_l3_energy() / base.l2_plus_l3_energy() - 1.0) * 100.0
+    );
+    println!(
+        "DRAM traffic: {} -> {} ({:+.1}%)",
+        base.dram_demand_traffic,
+        slip.dram_total_traffic,
+        (slip.dram_total_traffic as f64 / base.dram_demand_traffic as f64 - 1.0) * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args)?;
+    let [name, out] = o.positional.as_slice() else {
+        return Err("record needs a workload and an output path".to_owned());
+    };
+    let spec = workloads::workload(name)
+        .ok_or_else(|| format!("unknown workload {name:?} (try `slip list`)"))?;
+    let n = workloads::io::write_trace(out, spec.trace(o.accesses, o.seed))
+        .map_err(|e| e.to_string())?;
+    println!("wrote {n} accesses to {out}");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let o = parse_options(&s(&["gcc"])).unwrap();
+        assert_eq!(o.positional, vec!["gcc"]);
+        assert_eq!(o.policy, PolicyKind::SlipAbp);
+        assert_eq!(o.accesses, 1_000_000);
+        assert!(!o.inclusive);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = parse_options(&s(&[
+            "soplex",
+            "--policy",
+            "nurapid",
+            "--accesses",
+            "5000",
+            "--seed",
+            "0xff",
+            "--replacement",
+            "drrip",
+            "--inclusive",
+            "--csv",
+            "out.csv",
+        ]))
+        .unwrap();
+        assert_eq!(o.policy, PolicyKind::NuRapid);
+        assert_eq!(o.accesses, 5000);
+        assert_eq!(o.seed, 0xff);
+        assert_eq!(o.replacement, ReplacementKind::Drrip);
+        assert!(o.inclusive);
+        assert_eq!(o.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn rejects_unknown_flags_and_values() {
+        assert!(parse_options(&s(&["--bogus"])).is_err());
+        assert!(parse_options(&s(&["--policy", "magic"])).is_err());
+        assert!(parse_options(&s(&["--accesses", "many"])).is_err());
+        assert!(parse_options(&s(&["--csv"])).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        assert!(dispatch(&s(&["frobnicate"])).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn decimal_seed_parses() {
+        let o = parse_options(&s(&["--seed", "123"])).unwrap();
+        assert_eq!(o.seed, 123);
+    }
+}

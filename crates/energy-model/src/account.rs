@@ -1,0 +1,226 @@
+//! Energy accounting, split into the categories of paper Figure 11.
+
+use crate::Energy;
+use core::fmt;
+
+/// Category of energy consumption inside one cache level (or DRAM).
+///
+/// Paper Figure 11 groups these into *access* energy (`Access`) and
+/// *movement* energy ("inter-sublevel movement energy, insertion energy,
+/// and writeback energy" — `Movement` + `Insertion` + `Writeback`). The
+/// remaining categories are the hardware overheads of SLIP itself that the
+/// paper accounts separately (metadata reads/writes, EOU operations,
+/// movement-queue lookups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EnergyCategory {
+    /// Data read on a hit (or the read half of a demand access).
+    Access,
+    /// Read+write pair for an inter-sublevel movement.
+    Movement,
+    /// Write of an incoming line into the level.
+    Insertion,
+    /// Read of a dirty victim leaving the level.
+    Writeback,
+    /// 12 b-per-line SLIP/timestamp metadata reads and writes.
+    Metadata,
+    /// Energy Optimizer Unit operations.
+    Eou,
+    /// Movement-queue lookups.
+    MovementQueue,
+    /// DRAM data transfer.
+    Dram,
+}
+
+impl EnergyCategory {
+    /// All categories, in reporting order.
+    pub const ALL: [EnergyCategory; 8] = [
+        EnergyCategory::Access,
+        EnergyCategory::Movement,
+        EnergyCategory::Insertion,
+        EnergyCategory::Writeback,
+        EnergyCategory::Metadata,
+        EnergyCategory::Eou,
+        EnergyCategory::MovementQueue,
+        EnergyCategory::Dram,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            EnergyCategory::Access => 0,
+            EnergyCategory::Movement => 1,
+            EnergyCategory::Insertion => 2,
+            EnergyCategory::Writeback => 3,
+            EnergyCategory::Metadata => 4,
+            EnergyCategory::Eou => 5,
+            EnergyCategory::MovementQueue => 6,
+            EnergyCategory::Dram => 7,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            EnergyCategory::Access => "access",
+            EnergyCategory::Movement => "movement",
+            EnergyCategory::Insertion => "insertion",
+            EnergyCategory::Writeback => "writeback",
+            EnergyCategory::Metadata => "metadata",
+            EnergyCategory::Eou => "eou",
+            EnergyCategory::MovementQueue => "mvq",
+            EnergyCategory::Dram => "dram",
+        }
+    }
+}
+
+impl fmt::Display for EnergyCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Accumulator of energy split by [`EnergyCategory`].
+///
+/// # Example
+///
+/// ```
+/// use energy_model::{Energy, EnergyAccount, EnergyCategory};
+///
+/// let mut acct = EnergyAccount::new();
+/// acct.charge(EnergyCategory::Access, Energy::from_pj(21.0));
+/// acct.charge(EnergyCategory::Insertion, Energy::from_pj(21.0));
+/// assert_eq!(acct.total(), Energy::from_pj(42.0));
+/// assert_eq!(acct.get(EnergyCategory::Access), Energy::from_pj(21.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EnergyAccount {
+    by_category: [Energy; 8],
+}
+
+impl EnergyAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `amount` to `category`.
+    #[inline]
+    pub fn charge(&mut self, category: EnergyCategory, amount: Energy) {
+        self.by_category[category.index()] += amount;
+    }
+
+    /// Energy accumulated in one category.
+    #[inline]
+    pub fn get(&self, category: EnergyCategory) -> Energy {
+        self.by_category[category.index()]
+    }
+
+    /// Total energy over all categories.
+    pub fn total(&self) -> Energy {
+        self.by_category.iter().sum()
+    }
+
+    /// Paper Figure 11's "access" bar: demand access energy only.
+    pub fn access_energy(&self) -> Energy {
+        self.get(EnergyCategory::Access)
+    }
+
+    /// Paper Figure 11's "movement" bar: inter-sublevel movement +
+    /// insertion + writeback energy.
+    pub fn movement_energy(&self) -> Energy {
+        self.get(EnergyCategory::Movement)
+            + self.get(EnergyCategory::Insertion)
+            + self.get(EnergyCategory::Writeback)
+    }
+
+    /// SLIP hardware overhead energy (metadata + EOU + movement queue).
+    pub fn overhead_energy(&self) -> Energy {
+        self.get(EnergyCategory::Metadata)
+            + self.get(EnergyCategory::Eou)
+            + self.get(EnergyCategory::MovementQueue)
+    }
+
+    /// Merges another account into this one.
+    pub fn merge(&mut self, other: &EnergyAccount) {
+        for (dst, src) in self.by_category.iter_mut().zip(&other.by_category) {
+            *dst += *src;
+        }
+    }
+
+    /// Iterates over `(category, energy)` pairs in reporting order.
+    pub fn iter(&self) -> impl Iterator<Item = (EnergyCategory, Energy)> + '_ {
+        EnergyCategory::ALL.iter().map(move |&c| (c, self.get(c)))
+    }
+}
+
+impl fmt::Display for EnergyAccount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "total {}", self.total())?;
+        for (cat, e) in self.iter() {
+            if !e.is_zero() {
+                write!(f, ", {cat} {e}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_total() {
+        let mut a = EnergyAccount::new();
+        a.charge(EnergyCategory::Access, Energy::from_pj(10.0));
+        a.charge(EnergyCategory::Access, Energy::from_pj(5.0));
+        a.charge(EnergyCategory::Dram, Energy::from_pj(100.0));
+        assert_eq!(a.get(EnergyCategory::Access).as_pj(), 15.0);
+        assert_eq!(a.get(EnergyCategory::Movement).as_pj(), 0.0);
+        assert_eq!(a.total().as_pj(), 115.0);
+    }
+
+    #[test]
+    fn figure11_grouping() {
+        let mut a = EnergyAccount::new();
+        a.charge(EnergyCategory::Access, Energy::from_pj(1.0));
+        a.charge(EnergyCategory::Movement, Energy::from_pj(2.0));
+        a.charge(EnergyCategory::Insertion, Energy::from_pj(3.0));
+        a.charge(EnergyCategory::Writeback, Energy::from_pj(4.0));
+        a.charge(EnergyCategory::Metadata, Energy::from_pj(5.0));
+        a.charge(EnergyCategory::Eou, Energy::from_pj(6.0));
+        a.charge(EnergyCategory::MovementQueue, Energy::from_pj(7.0));
+        assert_eq!(a.access_energy().as_pj(), 1.0);
+        assert_eq!(a.movement_energy().as_pj(), 9.0);
+        assert_eq!(a.overhead_energy().as_pj(), 18.0);
+    }
+
+    #[test]
+    fn merge_accounts() {
+        let mut a = EnergyAccount::new();
+        a.charge(EnergyCategory::Access, Energy::from_pj(1.0));
+        let mut b = EnergyAccount::new();
+        b.charge(EnergyCategory::Access, Energy::from_pj(2.0));
+        b.charge(EnergyCategory::Eou, Energy::from_pj(3.0));
+        a.merge(&b);
+        assert_eq!(a.get(EnergyCategory::Access).as_pj(), 3.0);
+        assert_eq!(a.get(EnergyCategory::Eou).as_pj(), 3.0);
+    }
+
+    #[test]
+    fn display_skips_zero_categories() {
+        let mut a = EnergyAccount::new();
+        a.charge(EnergyCategory::Dram, Energy::from_pj(10.0));
+        let s = a.to_string();
+        assert!(s.contains("dram"));
+        assert!(!s.contains("movement"));
+    }
+
+    #[test]
+    fn all_categories_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for c in EnergyCategory::ALL {
+            assert!(seen.insert(c.index()));
+        }
+        assert_eq!(seen.len(), 8);
+    }
+}

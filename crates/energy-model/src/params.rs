@@ -1,0 +1,255 @@
+//! Energy parameters from paper Table 2 (45 nm) and a derived 22 nm set.
+//!
+//! The 45 nm numbers are taken verbatim from Table 2 of the paper, which the
+//! authors obtained from HSPICE simulations of PTM CMOS and wire models of an
+//! Intel Xeon E5-style LLC slice. The 22 nm set is our derivation for the
+//! Section 6 technology-node study: the paper states only that it reran the
+//! same configuration at 22 nm and observed 36% L2 / 25% L3 savings; we scale
+//! bank energy down faster than wire energy (wires scale poorly), which
+//! slightly *increases* the near/far asymmetry, reproducing the reported
+//! trend of marginally higher relative savings.
+
+use crate::Energy;
+
+/// Energy parameters for one cache level.
+///
+/// A level is split into sublevels — groups of ways with similar access
+/// energy (paper Section 3). `sublevel_access[i]` is the energy of one
+/// read or write access serviced by sublevel `i`; index 0 is the sublevel
+/// nearest the cache controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelEnergyParams {
+    /// Flat access energy of the level when treated as a uniform cache
+    /// (paper Table 2 "Baseline access"). This is the capacity-weighted
+    /// average of the sublevel energies and is used only for reporting;
+    /// the simulator always charges the actual sublevel energy.
+    pub baseline_access: Energy,
+    /// Per-sublevel access energy, nearest first.
+    pub sublevel_access: Vec<Energy>,
+    /// Lines of capacity per sublevel, nearest first.
+    pub sublevel_lines: Vec<usize>,
+    /// Energy of one metadata (12 b per line: two 3 b SLIPs + 6 b
+    /// timestamp) read or write at this level.
+    pub metadata_access: Energy,
+}
+
+impl LevelEnergyParams {
+    /// Total capacity of the level in lines.
+    pub fn total_lines(&self) -> usize {
+        self.sublevel_lines.iter().sum()
+    }
+
+    /// Number of sublevels.
+    pub fn sublevels(&self) -> usize {
+        self.sublevel_access.len()
+    }
+
+    /// Capacity-weighted mean access energy over all sublevels.
+    ///
+    /// For the paper's configurations this reproduces the Table 2
+    /// "Baseline access" values (39 pJ for L2, 136 pJ for L3) to within a
+    /// few percent.
+    pub fn mean_access(&self) -> Energy {
+        let total: usize = self.total_lines();
+        assert!(total > 0, "level must have nonzero capacity");
+        self.sublevel_access
+            .iter()
+            .zip(&self.sublevel_lines)
+            .map(|(&e, &lines)| e * (lines as f64 / total as f64))
+            .sum()
+    }
+
+    /// Cumulative capacity (in lines) of sublevels `0..=i`, i.e. the
+    /// `CC_i` terms of paper Section 3.2.
+    pub fn cumulative_lines(&self) -> Vec<usize> {
+        self.sublevel_lines
+            .iter()
+            .scan(0usize, |acc, &l| {
+                *acc += l;
+                Some(*acc)
+            })
+            .collect()
+    }
+}
+
+/// A complete technology-node parameter set (paper Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechnologyParams {
+    /// Human-readable node name, e.g. `"45nm"`.
+    pub name: &'static str,
+    /// Wire energy per transition, pJ/bit/mm.
+    pub wire_pj_per_bit_mm: f64,
+    /// Wire delay, ns/mm.
+    pub wire_delay_ns_per_mm: f64,
+    /// L2 level parameters.
+    pub l2: LevelEnergyParams,
+    /// L3 level parameters.
+    pub l3: LevelEnergyParams,
+    /// DRAM access energy, pJ/bit (sum of Idd4 and Idd7RW per Vogelsang).
+    pub dram_pj_per_bit: f64,
+    /// Energy of one EOU optimization operation (paper Section 5:
+    /// synthesized RTL, 1.27 pJ including pipeline registers).
+    pub eou_op: Energy,
+    /// Energy of one movement-queue lookup (paper Section 5: 0.3 pJ).
+    pub movement_queue_lookup: Energy,
+}
+
+/// Number of bytes in a cache line throughout the workspace.
+pub const LINE_BYTES: usize = 64;
+
+/// Bits transferred for one full line.
+pub const LINE_BITS: usize = LINE_BYTES * 8;
+
+impl TechnologyParams {
+    /// Energy to transfer one full 64 B line to/from DRAM.
+    pub fn dram_line_energy(&self) -> Energy {
+        Energy::from_pj(self.dram_pj_per_bit * LINE_BITS as f64)
+    }
+}
+
+fn kib_lines(kib: usize) -> usize {
+    kib * 1024 / LINE_BYTES
+}
+
+/// Paper Table 2, 45 nm node.
+pub static TECH_45NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLock::new(|| {
+    TechnologyParams {
+        name: "45nm",
+        wire_pj_per_bit_mm: 0.16,
+        wire_delay_ns_per_mm: 0.3,
+        l2: LevelEnergyParams {
+            baseline_access: Energy::from_pj(39.0),
+            sublevel_access: vec![
+                Energy::from_pj(21.0),
+                Energy::from_pj(33.0),
+                Energy::from_pj(50.0),
+            ],
+            // 64 KB + 64 KB + 128 KB = 256 KB, 16 ways (Table 1).
+            sublevel_lines: vec![kib_lines(64), kib_lines(64), kib_lines(128)],
+            metadata_access: Energy::from_pj(1.0),
+        },
+        l3: LevelEnergyParams {
+            baseline_access: Energy::from_pj(136.0),
+            sublevel_access: vec![
+                Energy::from_pj(67.0),
+                Energy::from_pj(113.0),
+                Energy::from_pj(176.0),
+            ],
+            // 512 KB + 512 KB + 1 MB = 2 MB, 16 ways (Table 1).
+            sublevel_lines: vec![kib_lines(512), kib_lines(512), kib_lines(1024)],
+            metadata_access: Energy::from_pj(2.5),
+        },
+        dram_pj_per_bit: 20.0,
+        eou_op: Energy::from_pj(1.27),
+        movement_queue_lookup: Energy::from_pj(0.3),
+    }
+});
+
+/// Derived 22 nm node for the Section 6 technology study.
+///
+/// Bank (transistor) energy scales by roughly 0.45x from 45 nm to 22 nm while
+/// wire energy scales by only ~0.7x, so the far/near asymmetry grows. These
+/// constants are our estimates (see DESIGN.md §4); the paper reports only the
+/// resulting savings (36% L2, 25% L3 for SLIP+ABP).
+pub static TECH_22NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLock::new(|| {
+    TechnologyParams {
+        name: "22nm",
+        wire_pj_per_bit_mm: 0.11,
+        wire_delay_ns_per_mm: 0.35,
+        l2: LevelEnergyParams {
+            baseline_access: Energy::from_pj(20.5),
+            sublevel_access: vec![
+                Energy::from_pj(10.0),
+                Energy::from_pj(17.0),
+                Energy::from_pj(27.5),
+            ],
+            sublevel_lines: vec![kib_lines(64), kib_lines(64), kib_lines(128)],
+            metadata_access: Energy::from_pj(0.6),
+        },
+        l3: LevelEnergyParams {
+            baseline_access: Energy::from_pj(72.0),
+            sublevel_access: vec![
+                Energy::from_pj(33.0),
+                Energy::from_pj(59.0),
+                Energy::from_pj(98.0),
+            ],
+            sublevel_lines: vec![kib_lines(512), kib_lines(512), kib_lines(1024)],
+            metadata_access: Energy::from_pj(1.5),
+        },
+        dram_pj_per_bit: 14.0,
+        eou_op: Energy::from_pj(0.7),
+        movement_queue_lookup: Energy::from_pj(0.18),
+    }
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_values_match_paper() {
+        let t = &*TECH_45NM;
+        assert_eq!(t.wire_pj_per_bit_mm, 0.16);
+        assert_eq!(t.l2.sublevel_access[0].as_pj(), 21.0);
+        assert_eq!(t.l2.sublevel_access[1].as_pj(), 33.0);
+        assert_eq!(t.l2.sublevel_access[2].as_pj(), 50.0);
+        assert_eq!(t.l3.sublevel_access[0].as_pj(), 67.0);
+        assert_eq!(t.l3.sublevel_access[1].as_pj(), 113.0);
+        assert_eq!(t.l3.sublevel_access[2].as_pj(), 176.0);
+        assert_eq!(t.l2.metadata_access.as_pj(), 1.0);
+        assert_eq!(t.l3.metadata_access.as_pj(), 2.5);
+        assert_eq!(t.dram_pj_per_bit, 20.0);
+    }
+
+    #[test]
+    fn capacities_match_table1() {
+        let t = &*TECH_45NM;
+        // 256 KB L2 and 2 MB L3 at 64 B lines.
+        assert_eq!(t.l2.total_lines(), 256 * 1024 / 64);
+        assert_eq!(t.l3.total_lines(), 2 * 1024 * 1024 / 64);
+        assert_eq!(t.l2.cumulative_lines(), vec![1024, 2048, 4096]);
+        assert_eq!(t.l3.cumulative_lines(), vec![8192, 16384, 32768]);
+    }
+
+    #[test]
+    fn mean_access_close_to_baseline_constant() {
+        // The capacity-weighted mean of the sublevel energies should land
+        // near the paper's flat "baseline access" constants.
+        let t = &*TECH_45NM;
+        let l2_mean = t.l2.mean_access().as_pj();
+        let l3_mean = t.l3.mean_access().as_pj();
+        assert!((l2_mean - 39.0).abs() / 39.0 < 0.05, "L2 mean {l2_mean}");
+        assert!((l3_mean - 136.0).abs() / 136.0 < 0.05, "L3 mean {l3_mean}");
+    }
+
+    #[test]
+    fn dram_line_energy_is_20pj_per_bit() {
+        assert_eq!(TECH_45NM.dram_line_energy().as_pj(), 20.0 * 512.0);
+    }
+
+    #[test]
+    fn node_22nm_is_more_asymmetric_than_45nm() {
+        // Wire scaling lags transistor scaling, so far/near energy ratio
+        // must grow at 22 nm — this is what yields the slightly larger
+        // relative savings the paper reports.
+        let r45 = TECH_45NM.l2.sublevel_access[2] / TECH_45NM.l2.sublevel_access[0];
+        let r22 = TECH_22NM.l2.sublevel_access[2] / TECH_22NM.l2.sublevel_access[0];
+        assert!(r22 > r45);
+        // And everything must be cheaper in absolute terms.
+        for i in 0..3 {
+            assert!(TECH_22NM.l2.sublevel_access[i] < TECH_45NM.l2.sublevel_access[i]);
+            assert!(TECH_22NM.l3.sublevel_access[i] < TECH_45NM.l3.sublevel_access[i]);
+        }
+    }
+
+    #[test]
+    fn sublevel_energies_strictly_increase_with_distance() {
+        for t in [&*TECH_45NM, &*TECH_22NM] {
+            for lvl in [&t.l2, &t.l3] {
+                for w in lvl.sublevel_access.windows(2) {
+                    assert!(w[0] < w[1]);
+                }
+            }
+        }
+    }
+}

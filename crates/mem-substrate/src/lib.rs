@@ -1,0 +1,24 @@
+//! Memory-system substrate for the SLIP reproduction.
+//!
+//! The paper stores its policy state in the virtual-memory system: 6 b
+//! of SLIP codes and a sampling-state bit live in otherwise-ignored PTE
+//! bits, and each page's 32 b reuse-distance distribution lives in DRAM
+//! and is fetched on (a sampled subset of) TLB misses. This crate
+//! provides those pieces:
+//!
+//! * [`Tlb`] — a fully-associative LRU TLB,
+//! * [`PageTable`] / [`PageEntry`] — per-page SLIPs, state, and
+//!   distributions,
+//! * [`Dram`] — DRAM traffic and energy accounting (20 pJ/bit),
+//! * [`SlipMmu`] — the Figure 7 TLB-miss machinery tying them together
+//!   with the time-based sampler and the two EOUs.
+
+pub mod dram;
+pub mod mmu;
+pub mod page_table;
+pub mod tlb;
+
+pub use dram::{Dram, DRAM_LATENCY_CYCLES};
+pub use mmu::{MmuStats, SlipMmu, Translation};
+pub use page_table::{PageEntry, PageTable};
+pub use tlb::{Tlb, DEFAULT_TLB_ENTRIES};

@@ -1,0 +1,171 @@
+//! A fully-associative, LRU translation lookaside buffer.
+//!
+//! Table 1 does not specify the TLB; we use a 64-entry fully-associative
+//! LRU TLB, typical of the paper's era (documented in DESIGN.md). The
+//! TLB matters to SLIP because all policy work — state transitions,
+//! distribution fetches, SLIP recomputation — happens on TLB misses
+//! (paper Figure 7).
+
+use cache_sim::PageId;
+use std::collections::HashMap;
+
+/// Default TLB capacity in entries.
+pub const DEFAULT_TLB_ENTRIES: usize = 64;
+
+/// A fully-associative LRU TLB.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::PageId;
+/// use mem_substrate::Tlb;
+///
+/// let mut tlb = Tlb::new(2);
+/// assert!(!tlb.lookup(PageId(1))); // cold miss
+/// tlb.insert(PageId(1));
+/// assert!(tlb.lookup(PageId(1)));
+/// tlb.insert(PageId(2));
+/// let evicted = tlb.insert(PageId(3)); // capacity eviction
+/// assert_eq!(evicted, Some(PageId(1)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tlb {
+    capacity: usize,
+    /// page -> last-use stamp.
+    entries: HashMap<PageId, u64>,
+    clock: u64,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Creates the default 64-entry TLB.
+    pub fn paper_default() -> Self {
+        Tlb::new(DEFAULT_TLB_ENTRIES)
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up `page`, updating recency and hit/miss counters.
+    /// Returns `true` on a hit.
+    pub fn lookup(&mut self, page: PageId) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.entries.get_mut(&page) {
+            *stamp = self.clock;
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts `page` (after a miss), returning the evicted page if the
+    /// TLB was full. Inserting a resident page just refreshes it.
+    pub fn insert(&mut self, page: PageId) -> Option<PageId> {
+        self.clock += 1;
+        self.entries.insert(page, self.clock);
+        if self.entries.len() <= self.capacity {
+            return None;
+        }
+        let victim = *self
+            .entries
+            .iter()
+            .min_by_key(|(_, &stamp)| stamp)
+            .expect("nonempty")
+            .0;
+        self.entries.remove(&victim);
+        Some(victim)
+    }
+
+    /// `true` if `page` is resident (no recency update).
+    pub fn contains(&self, page: PageId) -> bool {
+        self.entries.contains_key(&page)
+    }
+
+    /// TLB miss rate in [0, 1]; 0 before any lookups.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(4);
+        assert!(!t.lookup(PageId(1)));
+        t.insert(PageId(1));
+        assert!(t.lookup(PageId(1)));
+        assert_eq!(t.hits, 1);
+        assert_eq!(t.misses, 1);
+        assert!((t.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evicts_lru_entry() {
+        let mut t = Tlb::new(2);
+        t.insert(PageId(1));
+        t.insert(PageId(2));
+        // Touch 1 so 2 becomes LRU.
+        assert!(t.lookup(PageId(1)));
+        let e = t.insert(PageId(3));
+        assert_eq!(e, Some(PageId(2)));
+        assert!(t.contains(PageId(1)));
+        assert!(t.contains(PageId(3)));
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn reinserting_resident_page_evicts_nothing() {
+        let mut t = Tlb::new(2);
+        t.insert(PageId(1));
+        t.insert(PageId(2));
+        assert_eq!(t.insert(PageId(1)), None);
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn paper_default_is_64_entries() {
+        assert_eq!(Tlb::paper_default().capacity(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        Tlb::new(0);
+    }
+}

@@ -1,0 +1,172 @@
+//! NuRAPID: Non-uniform access with Replacement And Placement usIng
+//! Distance associativity (Chishti et al., MICRO 2003).
+
+use cache_sim::policy::{FillRequest, InsertionClass, PlacementPolicy};
+use cache_sim::{CacheGeometry, LineState, WayMask};
+
+/// The NuRAPID placement policy over sublevels-as-d-groups.
+///
+/// * Insert into the nearest d-group.
+/// * On a hit outside the nearest d-group, promote the line there
+///   (swapping with a victim, which is thereby demoted to the hit
+///   line's old location).
+/// * A line displaced from d-group `i` demotes into d-group `i+1`;
+///   only the furthest group evicts from the cache.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::{CacheGeometry, FillRequest, LineAddr, PlacementPolicy,
+///                 WayMask};
+/// use energy_model::Energy;
+/// use nuca_baselines::NuRapid;
+///
+/// let geom = CacheGeometry::from_sublevels(
+///     16,
+///     &[(4, Energy::from_pj(21.0), 4), (12, Energy::from_pj(45.0), 8)],
+/// );
+/// let mut p = NuRapid::new(&geom);
+/// let mask = p.insertion_mask(&geom, &FillRequest::new(LineAddr(0)));
+/// assert_eq!(mask, Some(WayMask::from_range(0..4))); // nearest d-group
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NuRapid {
+    sublevel_masks: Vec<WayMask>,
+}
+
+impl NuRapid {
+    /// Creates NuRAPID placement for a geometry; each sublevel is one
+    /// d-group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has no sublevels.
+    pub fn new(geom: &CacheGeometry) -> Self {
+        let s = geom.sublevels();
+        assert!(s >= 1, "need at least one sublevel");
+        NuRapid {
+            sublevel_masks: (0..s).map(|i| geom.sublevel_ways(i)).collect(),
+        }
+    }
+
+    fn groups(&self) -> usize {
+        self.sublevel_masks.len()
+    }
+}
+
+impl PlacementPolicy for NuRapid {
+    fn name(&self) -> &'static str {
+        "NuRAPID"
+    }
+
+    fn insertion_mask(&mut self, _geom: &CacheGeometry, _req: &FillRequest) -> Option<WayMask> {
+        Some(self.sublevel_masks[0])
+    }
+
+    fn demotion_mask(
+        &mut self,
+        geom: &CacheGeometry,
+        _line: &LineState,
+        from_way: usize,
+    ) -> Option<WayMask> {
+        // NuRAPID demotes a replaced block directly to the slowest
+        // d-group; only the slowest group evicts from the cache.
+        let group = geom.sublevel(from_way);
+        let last = self.groups() - 1;
+        if group < last {
+            Some(self.sublevel_masks[last])
+        } else {
+            None
+        }
+    }
+
+    fn promotion_mask(
+        &mut self,
+        geom: &CacheGeometry,
+        _line: &LineState,
+        hit_way: usize,
+    ) -> Option<WayMask> {
+        if geom.sublevel(hit_way) == 0 {
+            None
+        } else {
+            Some(self.sublevel_masks[0])
+        }
+    }
+
+    fn classify_insertion(&self, _geom: &CacheGeometry, _req: &FillRequest) -> InsertionClass {
+        InsertionClass::Other
+    }
+
+    fn uses_movement_queue(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::LineAddr;
+    use energy_model::Energy;
+
+    fn geom() -> CacheGeometry {
+        CacheGeometry::from_sublevels(
+            8,
+            &[
+                (4, Energy::from_pj(21.0), 4),
+                (4, Energy::from_pj(33.0), 6),
+                (8, Energy::from_pj(50.0), 8),
+            ],
+        )
+    }
+
+    #[test]
+    fn inserts_into_nearest_group() {
+        let g = geom();
+        let mut p = NuRapid::new(&g);
+        assert_eq!(
+            p.insertion_mask(&g, &FillRequest::new(LineAddr(1))),
+            Some(WayMask::from_range(0..4))
+        );
+    }
+
+    #[test]
+    fn demotes_straight_to_slowest_group() {
+        let g = geom();
+        let mut p = NuRapid::new(&g);
+        let line = LineState::new(LineAddr(1));
+        assert_eq!(
+            p.demotion_mask(&g, &line, 0),
+            Some(WayMask::from_range(8..16))
+        );
+        assert_eq!(
+            p.demotion_mask(&g, &line, 5),
+            Some(WayMask::from_range(8..16))
+        );
+        assert_eq!(p.demotion_mask(&g, &line, 12), None);
+    }
+
+    #[test]
+    fn promotes_straight_to_nearest_group() {
+        let g = geom();
+        let mut p = NuRapid::new(&g);
+        let line = LineState::new(LineAddr(1));
+        assert_eq!(p.promotion_mask(&g, &line, 0), None);
+        assert_eq!(
+            p.promotion_mask(&g, &line, 6),
+            Some(WayMask::from_range(0..4))
+        );
+        assert_eq!(
+            p.promotion_mask(&g, &line, 15),
+            Some(WayMask::from_range(0..4))
+        );
+    }
+
+    #[test]
+    fn uses_movement_queue_but_not_slip_metadata() {
+        let g = geom();
+        let p = NuRapid::new(&g);
+        assert!(p.uses_movement_queue());
+        assert!(!p.uses_line_metadata());
+        assert_eq!(p.name(), "NuRAPID");
+    }
+}

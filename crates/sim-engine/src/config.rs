@@ -1,0 +1,368 @@
+//! System configuration: paper Table 1 plus our documented additions.
+
+use cache_sim::{CacheGeometry, CacheLevel};
+use energy_model::{BankGrid, Energy, TechnologyParams, Topology, WireParams, TECH_45NM};
+use slip_core::{EouObjective, SamplingConfig};
+
+/// Which placement policy drives the lower-level caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// The regular cache hierarchy (LRU over all ways, no movement).
+    Baseline,
+    /// NuRAPID (Chishti et al.): nearest-insert, promote on hit.
+    NuRapid,
+    /// LRU-PEA (Lira et al.): random-insert, generational promotion.
+    LruPea,
+    /// SLIP without the All-Bypass Policy.
+    Slip,
+    /// SLIP with the All-Bypass Policy in the candidate pool.
+    SlipAbp,
+}
+
+impl PolicyKind {
+    /// All policies in the paper's reporting order.
+    pub const ALL: [PolicyKind; 5] = [
+        PolicyKind::Baseline,
+        PolicyKind::NuRapid,
+        PolicyKind::LruPea,
+        PolicyKind::Slip,
+        PolicyKind::SlipAbp,
+    ];
+
+    /// Label used in reports (matches the paper's figure legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::Baseline => "baseline",
+            PolicyKind::NuRapid => "NuRAPID",
+            PolicyKind::LruPea => "LRU-PEA",
+            PolicyKind::Slip => "SLIP",
+            PolicyKind::SlipAbp => "SLIP+ABP",
+        }
+    }
+
+    /// `true` for the two SLIP variants.
+    pub fn is_slip(self) -> bool {
+        matches!(self, PolicyKind::Slip | PolicyKind::SlipAbp)
+    }
+}
+
+impl core::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which replacement policy picks victims within candidate ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementKind {
+    /// Least recently used (the paper's evaluation default).
+    #[default]
+    Lru,
+    /// DRRIP with set dueling (Section 7 adaptation).
+    Drrip,
+    /// SHiP with page signatures (Section 7 adaptation).
+    Ship,
+}
+
+impl ReplacementKind {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReplacementKind::Lru => "LRU",
+            ReplacementKind::Drrip => "DRRIP",
+            ReplacementKind::Ship => "SHiP",
+        }
+    }
+}
+
+/// Full system configuration (paper Table 1 + Table 2 + our additions).
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Technology parameters (Table 2); defaults to 45 nm.
+    pub tech: TechnologyParams,
+    /// Placement policy for L2 and L3.
+    pub policy: PolicyKind,
+    /// Replacement policy within candidate ways.
+    pub replacement: ReplacementKind,
+    /// L1: 32 KB, 8-way, 4 cycles (Table 1).
+    pub l1_ways: usize,
+    /// L1 sets (64 for 32 KB at 64 B lines and 8 ways).
+    pub l1_sets: usize,
+    /// L1 hit latency in cycles.
+    pub l1_latency: u32,
+    /// L1 access energy (not in Table 2; our addition for the Figure 10
+    /// full-system view).
+    pub l1_energy: Energy,
+    /// Flat L2 latency for the regular cache (Table 1: 7 cycles).
+    pub l2_uniform_latency: u32,
+    /// Flat L3 latency for the regular cache (Table 1: 20 cycles).
+    pub l3_uniform_latency: u32,
+    /// Per-sublevel L2 latencies (Table 1: 4/6/8 cycles).
+    pub l2_sublevel_latency: Vec<u32>,
+    /// Per-sublevel L3 latencies (Table 1: 15/19/23 cycles).
+    pub l3_sublevel_latency: Vec<u32>,
+    /// Ways per L2 sublevel, nearest first (paper: 4/4/8).
+    pub l2_sublevel_ways: Vec<usize>,
+    /// Ways per L3 sublevel, nearest first (paper: 4/4/8).
+    pub l3_sublevel_ways: Vec<usize>,
+    /// Analytical objective for the EOU (ablation knob; see
+    /// [`EouObjective`]).
+    pub eou_objective: EouObjective,
+    /// log2 of the rd-block (profiling granularity) size in bytes;
+    /// the paper uses the 4 KB page (12). Section 7 extension.
+    pub rd_block_shift: u32,
+    /// Model an inclusive LLC: L3 evictions back-invalidate L2/L1, and
+    /// L3-bypassed lines may not be cached above (paper §4.3 explains
+    /// why ABP is undesirable there).
+    pub inclusive_llc: bool,
+    /// In two-core runs, way-partition the shared L3 between the cores
+    /// and run SLIP within each partition (paper §7; only affects the
+    /// SLIP policies).
+    pub partitioned_l3: bool,
+    /// Core energy per access excluding caches/DRAM (our addition for
+    /// Figure 10; see DESIGN.md).
+    pub core_energy_per_access: Energy,
+    /// Core cycles per access besides memory latency.
+    pub core_cycles_per_access: u32,
+    /// Time-based sampling probabilities (paper §4.2).
+    pub sampling: SamplingConfig,
+    /// Reuse-distance bin counter width in bits (paper default 4; the
+    /// §6 sensitivity study sweeps this).
+    pub rd_bin_bits: u32,
+    /// Master seed for all stochastic components.
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 45 nm single-core configuration with a given policy.
+    pub fn paper_45nm(policy: PolicyKind) -> Self {
+        SystemConfig {
+            tech: TECH_45NM.clone(),
+            policy,
+            replacement: ReplacementKind::Lru,
+            l1_ways: 8,
+            l1_sets: 64,
+            l1_latency: 4,
+            l1_energy: Energy::from_pj(5.0),
+            l2_uniform_latency: 7,
+            l3_uniform_latency: 20,
+            l2_sublevel_latency: vec![4, 6, 8],
+            l3_sublevel_latency: vec![15, 19, 23],
+            l2_sublevel_ways: vec![4, 4, 8],
+            l3_sublevel_ways: vec![4, 4, 8],
+            eou_objective: EouObjective::InsertionAware,
+            rd_block_shift: 12,
+            inclusive_llc: false,
+            partitioned_l3: false,
+            core_energy_per_access: Energy::from_pj(50.0),
+            core_cycles_per_access: 2,
+            sampling: SamplingConfig::paper_default(),
+            rd_bin_bits: 4,
+            seed: 0x511b,
+        }
+    }
+
+    /// L1 geometry (uniform energy and latency).
+    pub fn l1_geometry(&self) -> CacheGeometry {
+        CacheGeometry::uniform(self.l1_sets, self.l1_ways, self.l1_energy, self.l1_latency)
+    }
+
+    /// L2 geometry with per-sublevel energies and latencies from the
+    /// technology parameters.
+    pub fn l2_geometry(&self) -> CacheGeometry {
+        // 256 KB / 64 B / 16 ways = 256 sets.
+        let e = &self.tech.l2.sublevel_access;
+        let spec: Vec<(usize, Energy, u32)> = self
+            .l2_sublevel_ways
+            .iter()
+            .zip(e)
+            .zip(&self.l2_sublevel_latency)
+            .map(|((&w, &en), &lat)| (w, en, lat))
+            .collect();
+        CacheGeometry::from_sublevels(256, &spec)
+    }
+
+    /// L3 geometry with per-sublevel energies and latencies.
+    pub fn l3_geometry(&self) -> CacheGeometry {
+        // 2 MB / 64 B / 16 ways = 2048 sets.
+        let e = &self.tech.l3.sublevel_access;
+        let spec: Vec<(usize, Energy, u32)> = self
+            .l3_sublevel_ways
+            .iter()
+            .zip(e)
+            .zip(&self.l3_sublevel_latency)
+            .map(|((&w, &en), &lat)| (w, en, lat))
+            .collect();
+        CacheGeometry::from_sublevels(2048, &spec)
+    }
+
+    /// Repartitions both levels into custom sublevel splits (the
+    /// sublevel-count ablation). Per-sublevel energies are re-derived
+    /// from the calibrated 45 nm bank grids and latencies from the
+    /// grids' row positions, so the splits stay physically consistent
+    /// with Table 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either split does not sum to 16 ways or has more than
+    /// 8 sublevels.
+    pub fn with_sublevel_ways(mut self, l2: Vec<usize>, l3: Vec<usize>) -> Self {
+        assert_eq!(l2.iter().sum::<usize>(), 16, "L2 has 16 ways");
+        assert_eq!(l3.iter().sum::<usize>(), 16, "L3 has 16 ways");
+        assert!(l2.len() <= 8 && l3.len() <= 8, "at most 8 sublevels");
+        let wire = WireParams::NM45;
+        let topo = Topology::HierarchicalBusWayInterleaved;
+        let l2_grid = BankGrid::l2_45nm();
+        let l3_grid = BankGrid::l3_45nm();
+        self.tech.l2.sublevel_access = l2_grid.sublevel_energies(topo, &wire, &l2);
+        self.tech.l3.sublevel_access = l3_grid.sublevel_energies(topo, &wire, &l3);
+        self.tech.l2.sublevel_lines = l2.iter().map(|&w| w * 256).collect();
+        self.tech.l3.sublevel_lines = l3.iter().map(|&w| w * 2048).collect();
+        // Latency from the mean bank row of each sublevel, calibrated
+        // to reproduce Table 1 at the default 4/4/8 split.
+        let mean_rows = |grid: &BankGrid, split: &[usize]| -> Vec<f64> {
+            let mut rows = Vec::new();
+            let mut way = 0;
+            for &n in split {
+                let sum: usize = (way..way + n).map(|w| grid.way_row(w)).sum();
+                rows.push(sum as f64 / n as f64);
+                way += n;
+            }
+            rows
+        };
+        self.l2_sublevel_latency = mean_rows(&l2_grid, &l2)
+            .into_iter()
+            .map(|r| (4.0 + 1.6 * r).round() as u32)
+            .collect();
+        self.l3_sublevel_latency = mean_rows(&l3_grid, &l3)
+            .into_iter()
+            .map(|r| (14.2 + 0.8 * r).round() as u32)
+            .collect();
+        self.l2_sublevel_ways = l2;
+        self.l3_sublevel_ways = l3;
+        self
+    }
+
+    /// Builds the L1 cache level.
+    pub fn build_l1(&self) -> CacheLevel {
+        CacheLevel::new("L1", self.l1_geometry())
+    }
+
+    /// Builds the L2 cache level; the regular cache clocks hits at the
+    /// flat Table 1 latency, NUCA/SLIP policies expose per-way latency.
+    pub fn build_l2(&self) -> CacheLevel {
+        let mut l2 = CacheLevel::new("L2", self.l2_geometry())
+            .with_metadata_energy(self.tech.l2.metadata_access)
+            .with_mvq_lookup_energy(self.tech.movement_queue_lookup)
+            .with_miss_latency(self.l2_uniform_latency);
+        if self.policy == PolicyKind::Baseline {
+            l2 = l2.with_uniform_latency(self.l2_uniform_latency);
+        }
+        l2
+    }
+
+    /// Builds the L3 cache level.
+    pub fn build_l3(&self) -> CacheLevel {
+        let mut l3 = CacheLevel::new("L3", self.l3_geometry())
+            .with_metadata_energy(self.tech.l3.metadata_access)
+            .with_mvq_lookup_energy(self.tech.movement_queue_lookup)
+            .with_miss_latency(self.l3_uniform_latency);
+        if self.policy == PolicyKind::Baseline {
+            l3 = l3.with_uniform_latency(self.l3_uniform_latency);
+        }
+        l3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_capacities() {
+        let c = SystemConfig::paper_45nm(PolicyKind::Baseline);
+        assert_eq!(c.l1_geometry().total_lines() * 64, 32 * 1024);
+        assert_eq!(c.l2_geometry().total_lines() * 64, 256 * 1024);
+        assert_eq!(c.l3_geometry().total_lines() * 64, 2 * 1024 * 1024);
+        assert_eq!(c.l2_geometry().ways, 16);
+        assert_eq!(c.l3_geometry().ways, 16);
+    }
+
+    #[test]
+    fn sublevel_splits_match_paper() {
+        let c = SystemConfig::paper_45nm(PolicyKind::SlipAbp);
+        let l2 = c.l2_geometry();
+        // 64 KB / 64 KB / 128 KB.
+        assert_eq!(l2.sublevel_lines(0) * 64, 64 * 1024);
+        assert_eq!(l2.sublevel_lines(1) * 64, 64 * 1024);
+        assert_eq!(l2.sublevel_lines(2) * 64, 128 * 1024);
+        let l3 = c.l3_geometry();
+        // 512 KB / 512 KB / 1 MB.
+        assert_eq!(l3.sublevel_lines(0) * 64, 512 * 1024);
+        assert_eq!(l3.sublevel_lines(2) * 64, 1024 * 1024);
+    }
+
+    #[test]
+    fn baseline_uses_uniform_latency_slip_uses_sublevels() {
+        let base = SystemConfig::paper_45nm(PolicyKind::Baseline);
+        let slip = SystemConfig::paper_45nm(PolicyKind::SlipAbp);
+        // Indirect check via geometry latencies.
+        assert_eq!(slip.l2_geometry().latency(0), 4);
+        assert_eq!(slip.l2_geometry().latency(15), 8);
+        assert_eq!(base.l2_uniform_latency, 7);
+    }
+
+    #[test]
+    fn custom_sublevel_splits_rebuild_geometry_consistently() {
+        let c = SystemConfig::paper_45nm(PolicyKind::SlipAbp)
+            .with_sublevel_ways(vec![8, 8], vec![4, 4, 4, 4]);
+        let l2 = c.l2_geometry();
+        let l3 = c.l3_geometry();
+        assert_eq!(l2.sublevels(), 2);
+        assert_eq!(l3.sublevels(), 4);
+        // Capacity is preserved.
+        assert_eq!(l2.total_lines(), 4096);
+        assert_eq!(l3.total_lines(), 32768);
+        // Energies increase with distance and tech lines were updated.
+        assert!(c.tech.l2.sublevel_access[0] < c.tech.l2.sublevel_access[1]);
+        assert_eq!(c.tech.l2.sublevel_lines, vec![2048, 2048]);
+        assert_eq!(c.tech.l3.cumulative_lines(), vec![8192, 16384, 24576, 32768]);
+        // Latencies are monotone.
+        assert!(c.l2_sublevel_latency.windows(2).all(|w| w[0] <= w[1]));
+        assert!(c.l3_sublevel_latency.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn default_split_latencies_match_table1_formula() {
+        // The row-based latency model reproduces Table 1 at the
+        // paper's split.
+        let c = SystemConfig::paper_45nm(PolicyKind::SlipAbp)
+            .with_sublevel_ways(vec![4, 4, 8], vec![4, 4, 8]);
+        assert_eq!(c.l2_sublevel_latency, vec![4, 6, 8]);
+        assert_eq!(c.l3_sublevel_latency, vec![15, 19, 23]);
+    }
+
+    #[test]
+    #[should_panic(expected = "16 ways")]
+    fn bad_split_rejected() {
+        SystemConfig::paper_45nm(PolicyKind::SlipAbp).with_sublevel_ways(vec![4, 4], vec![4, 4, 8]);
+    }
+
+    #[test]
+    fn extension_knobs_default_to_paper_values() {
+        let c = SystemConfig::paper_45nm(PolicyKind::SlipAbp);
+        assert_eq!(c.rd_block_shift, 12);
+        assert!(!c.inclusive_llc);
+        assert_eq!(c.eou_objective, slip_core::EouObjective::InsertionAware);
+    }
+
+    #[test]
+    fn policy_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            PolicyKind::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert!(PolicyKind::Slip.is_slip());
+        assert!(PolicyKind::SlipAbp.is_slip());
+        assert!(!PolicyKind::Baseline.is_slip());
+    }
+}

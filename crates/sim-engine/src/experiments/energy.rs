@@ -1,0 +1,421 @@
+//! Energy experiments: Figure 9 (L2/L3 savings), Figure 10 (full
+//! system), Figure 11 (access/movement breakdown), the Section 2.1
+//! H-tree comparison, and the Section 6 22 nm node study.
+
+use crate::config::PolicyKind;
+use crate::experiments::suite::{SuiteOptions, SuiteResults};
+use crate::report::{mean, pct, pct2, Table};
+use energy_model::{Energy, Topology, TECH_22NM};
+
+/// One Figure 9 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig09Row {
+    /// Benchmark (or "average").
+    pub bench: String,
+    /// L2 saving for SLIP / SLIP+ABP, L3 saving for SLIP / SLIP+ABP,
+    /// then the NuRAPID / LRU-PEA deltas the caption quotes.
+    pub l2_slip: f64,
+    /// L2 saving under SLIP+ABP.
+    pub l2_slip_abp: f64,
+    /// L3 saving under SLIP.
+    pub l3_slip: f64,
+    /// L3 saving under SLIP+ABP.
+    pub l3_slip_abp: f64,
+    /// L2 saving under NuRAPID (negative = increase).
+    pub l2_nurapid: f64,
+    /// L3 saving under NuRAPID.
+    pub l3_nurapid: f64,
+    /// L2 saving under LRU-PEA.
+    pub l2_lru_pea: f64,
+    /// L3 saving under LRU-PEA.
+    pub l3_lru_pea: f64,
+}
+
+/// Computes Figure 9 from a full suite.
+pub fn fig09(suite: &SuiteResults) -> Vec<Fig09Row> {
+    let mut rows: Vec<Fig09Row> = suite
+        .benchmarks()
+        .iter()
+        .map(|&b| Fig09Row {
+            bench: b.to_owned(),
+            l2_slip: suite.l2_saving(b, PolicyKind::Slip),
+            l2_slip_abp: suite.l2_saving(b, PolicyKind::SlipAbp),
+            l3_slip: suite.l3_saving(b, PolicyKind::Slip),
+            l3_slip_abp: suite.l3_saving(b, PolicyKind::SlipAbp),
+            l2_nurapid: suite.l2_saving(b, PolicyKind::NuRapid),
+            l3_nurapid: suite.l3_saving(b, PolicyKind::NuRapid),
+            l2_lru_pea: suite.l2_saving(b, PolicyKind::LruPea),
+            l3_lru_pea: suite.l3_saving(b, PolicyKind::LruPea),
+        })
+        .collect();
+    let avg = |f: fn(&Fig09Row) -> f64, rows: &[Fig09Row]| -> f64 {
+        mean(&rows.iter().map(f).collect::<Vec<_>>())
+    };
+    rows.push(Fig09Row {
+        bench: "average".to_owned(),
+        l2_slip: avg(|r| r.l2_slip, &rows),
+        l2_slip_abp: avg(|r| r.l2_slip_abp, &rows),
+        l3_slip: avg(|r| r.l3_slip, &rows),
+        l3_slip_abp: avg(|r| r.l3_slip_abp, &rows),
+        l2_nurapid: avg(|r| r.l2_nurapid, &rows),
+        l3_nurapid: avg(|r| r.l3_nurapid, &rows),
+        l2_lru_pea: avg(|r| r.l2_lru_pea, &rows),
+        l3_lru_pea: avg(|r| r.l3_lru_pea, &rows),
+    });
+    rows
+}
+
+/// Renders Figure 9 as a table.
+pub fn fig09_table(rows: &[Fig09Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 9: energy savings over regular hierarchy \
+         (paper avg: SLIP 21%/13%, SLIP+ABP 35%/22%; NuRAPID -84%/-94%, LRU-PEA -79%/-83%)",
+        &[
+            "bench",
+            "L2 SLIP",
+            "L2 SLIP+ABP",
+            "L3 SLIP",
+            "L3 SLIP+ABP",
+            "L2 NuRAPID",
+            "L3 NuRAPID",
+            "L2 LRU-PEA",
+            "L3 LRU-PEA",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            pct(r.l2_slip),
+            pct(r.l2_slip_abp),
+            pct(r.l3_slip),
+            pct(r.l3_slip_abp),
+            pct(r.l2_nurapid),
+            pct(r.l3_nurapid),
+            pct(r.l2_lru_pea),
+            pct(r.l3_lru_pea),
+        ]);
+    }
+    t
+}
+
+/// One Figure 10 row: full-system dynamic energy savings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig10Row {
+    /// Benchmark (or "average").
+    pub bench: String,
+    /// Full-system saving under SLIP.
+    pub slip: f64,
+    /// Full-system saving under SLIP+ABP.
+    pub slip_abp: f64,
+}
+
+/// Computes Figure 10 from a suite.
+pub fn fig10(suite: &SuiteResults) -> Vec<Fig10Row> {
+    let mut rows: Vec<Fig10Row> = suite
+        .benchmarks()
+        .iter()
+        .map(|&b| {
+            let base = suite.baseline(b).full_system_energy();
+            Fig10Row {
+                bench: b.to_owned(),
+                slip: 1.0 - suite.get(b, PolicyKind::Slip).full_system_energy() / base,
+                slip_abp: 1.0 - suite.get(b, PolicyKind::SlipAbp).full_system_energy() / base,
+            }
+        })
+        .collect();
+    rows.push(Fig10Row {
+        bench: "average".to_owned(),
+        slip: mean(&rows.iter().map(|r| r.slip).collect::<Vec<_>>()),
+        slip_abp: mean(&rows.iter().map(|r| r.slip_abp).collect::<Vec<_>>()),
+    });
+    rows
+}
+
+/// Renders Figure 10 as a table.
+pub fn fig10_table(rows: &[Fig10Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 10: full-system dynamic energy savings \
+         (paper avg: SLIP 0.73%, SLIP+ABP 1.68%)",
+        &["bench", "SLIP", "SLIP+ABP"],
+    );
+    for r in rows {
+        t.row(vec![r.bench.clone(), pct2(r.slip), pct2(r.slip_abp)]);
+    }
+    t
+}
+
+/// One Figure 11 cell: a policy's access and movement energy at one
+/// level, normalized to the baseline total of that level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig11Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Policy.
+    pub policy: PolicyKind,
+    /// Normalized L2 access energy.
+    pub l2_access: f64,
+    /// Normalized L2 movement energy (movement + insertion +
+    /// writeback, per the paper's caption).
+    pub l2_movement: f64,
+    /// Normalized L3 access energy.
+    pub l3_access: f64,
+    /// Normalized L3 movement energy.
+    pub l3_movement: f64,
+}
+
+/// Computes Figure 11 from a suite.
+pub fn fig11(suite: &SuiteResults) -> Vec<Fig11Row> {
+    let mut rows = Vec::new();
+    for &b in suite.benchmarks() {
+        let base = suite.baseline(b);
+        let l2_base = base.l2_energy.total();
+        let l3_base = base.l3_energy.total();
+        for policy in PolicyKind::ALL {
+            let r = suite.get(b, policy);
+            rows.push(Fig11Row {
+                bench: b.to_owned(),
+                policy,
+                l2_access: r.l2_energy.access_energy() / l2_base,
+                l2_movement: r.l2_energy.movement_energy() / l2_base,
+                l3_access: r.l3_energy.access_energy() / l3_base,
+                l3_movement: r.l3_energy.movement_energy() / l3_base,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders Figure 11 as a table.
+pub fn fig11_table(rows: &[Fig11Row]) -> Table {
+    let mut t = Table::new(
+        "Figure 11: access vs movement energy, normalized to baseline total \
+         (movement = inter-sublevel movement + insertion + writeback)",
+        &[
+            "bench",
+            "policy",
+            "L2 access",
+            "L2 movement",
+            "L3 access",
+            "L3 movement",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            r.policy.label().to_owned(),
+            format!("{:.2}", r.l2_access),
+            format!("{:.2}", r.l2_movement),
+            format!("{:.2}", r.l3_access),
+            format!("{:.2}", r.l3_movement),
+        ]);
+    }
+    t
+}
+
+/// Section 2.1 H-tree comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HtreeRow {
+    /// Benchmark name (or "average").
+    pub bench: String,
+    /// L2 energy increase of the H-tree vs the way-interleaved bus.
+    pub l2_increase: f64,
+    /// L3 energy increase.
+    pub l3_increase: f64,
+}
+
+/// Applies a Figure 4 topology to a suite option set by rewriting the
+/// per-sublevel energies: set-interleaving makes them uniform at the
+/// capacity-weighted mean, the H-tree at the worst case.
+pub fn apply_topology(mut options: SuiteOptions, topology: Topology) -> SuiteOptions {
+    for level in [&mut options.tech.l2, &mut options.tech.l3] {
+        match topology {
+            Topology::HierarchicalBusWayInterleaved => {}
+            Topology::HierarchicalBusSetInterleaved => {
+                let m = level.mean_access();
+                for e in &mut level.sublevel_access {
+                    *e = m;
+                }
+            }
+            Topology::HTree => {
+                let worst = *level
+                    .sublevel_access
+                    .last()
+                    .expect("levels have sublevels");
+                for e in &mut level.sublevel_access {
+                    *e = worst;
+                }
+            }
+        }
+    }
+    options
+}
+
+/// Runs the Section 2.1 claim: baseline policy on the way-interleaved
+/// bus versus the H-tree (paper: +37% L2, +32% L3).
+pub fn htree_comparison(accesses: u64, benchmarks: &[&'static str]) -> Vec<HtreeRow> {
+    let base_opts = SuiteOptions::paper_full()
+        .with_benchmarks(benchmarks)
+        .with_policies(&[PolicyKind::Baseline])
+        .with_accesses(accesses);
+    let htree_opts = apply_topology(base_opts.clone(), Topology::HTree);
+    let base = SuiteResults::run(base_opts);
+    let htree = SuiteResults::run(htree_opts);
+    let mut rows: Vec<HtreeRow> = benchmarks
+        .iter()
+        .map(|&b| {
+            let l2 = htree.baseline(b).l2_energy.total() / base.baseline(b).l2_energy.total();
+            let l3 = htree.baseline(b).l3_energy.total() / base.baseline(b).l3_energy.total();
+            HtreeRow {
+                bench: b.to_owned(),
+                l2_increase: l2 - 1.0,
+                l3_increase: l3 - 1.0,
+            }
+        })
+        .collect();
+    rows.push(HtreeRow {
+        bench: "average".to_owned(),
+        l2_increase: mean(&rows.iter().map(|r| r.l2_increase).collect::<Vec<_>>()),
+        l3_increase: mean(&rows.iter().map(|r| r.l3_increase).collect::<Vec<_>>()),
+    });
+    rows
+}
+
+/// Renders the H-tree comparison.
+pub fn htree_table(rows: &[HtreeRow]) -> Table {
+    let mut t = Table::new(
+        "Section 2.1: H-tree energy increase vs way-interleaved bus \
+         (paper: +37% L2, +32% L3)",
+        &["bench", "L2 increase", "L3 increase"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.bench.clone(),
+            pct(r.l2_increase),
+            pct(r.l3_increase),
+        ]);
+    }
+    t
+}
+
+/// Section 6 node study: SLIP+ABP savings at 22 nm (paper: 36% L2,
+/// 25% L3). Returns (mean L2 saving, mean L3 saving).
+pub fn node22(accesses: u64, benchmarks: &[&'static str]) -> (f64, f64) {
+    let opts = SuiteOptions::paper_full()
+        .with_benchmarks(benchmarks)
+        .with_policies(&[PolicyKind::SlipAbp])
+        .with_accesses(accesses)
+        .with_tech(TECH_22NM.clone());
+    let suite = SuiteResults::run(opts);
+    (
+        suite.mean_l2_saving(PolicyKind::SlipAbp),
+        suite.mean_l3_saving(PolicyKind::SlipAbp),
+    )
+}
+
+/// Mean DRAM demand-traffic change of a policy vs baseline over the
+/// suite (negative = reduction; the paper quotes −2.2% for SLIP+ABP).
+pub fn mean_dram_traffic_change(suite: &SuiteResults, policy: PolicyKind) -> f64 {
+    mean(
+        &suite
+            .benchmarks()
+            .iter()
+            .map(|&b| {
+                let base = suite.baseline(b).dram_demand_traffic() as f64;
+                let ours = suite.get(b, policy).dram_total_traffic() as f64;
+                ours / base - 1.0
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// An `Energy` pretty-printer shim for tables.
+pub fn fmt_energy(e: Energy) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_suite() -> SuiteResults {
+        // Long enough for stream pages to stabilize into their SLIPs
+        // (~16 TLB misses per page); shorter traces are dominated by
+        // the sampling warmup and show no savings.
+        SuiteResults::run(
+            SuiteOptions::paper_full()
+                .with_benchmarks(&["gcc", "lbm"])
+                .with_accesses(600_000),
+        )
+    }
+
+    #[test]
+    fn fig09_has_expected_shape() {
+        let suite = small_suite();
+        let rows = fig09(&suite);
+        assert_eq!(rows.len(), 3);
+        let avg = rows.last().unwrap();
+        // SLIP+ABP saves energy at L2; the NUCA policies cost energy.
+        assert!(avg.l2_slip_abp > 0.0, "{avg:?}");
+        assert!(avg.l2_nurapid < 0.0, "{avg:?}");
+        assert!(avg.l2_lru_pea < 0.0, "{avg:?}");
+        // ABP never hurts relative to plain SLIP at L2.
+        assert!(avg.l2_slip_abp >= avg.l2_slip - 0.02, "{avg:?}");
+        assert!(!fig09_table(&rows).render().is_empty());
+    }
+
+    #[test]
+    fn fig10_savings_are_small_but_positive_for_abp() {
+        let suite = small_suite();
+        let rows = fig10(&suite);
+        let avg = rows.last().unwrap();
+        // Full-system savings are on the order of a percent (the
+        // paper reports +1.68%; at short test traces the DRAM-dominated
+        // total can wobble a couple of percent either way).
+        assert!(avg.slip_abp > -0.05 && avg.slip_abp < 0.15, "{avg:?}");
+        assert!(!fig10_table(&rows).render().is_empty());
+    }
+
+    #[test]
+    fn fig11_baseline_normalizes_to_one() {
+        let suite = small_suite();
+        let rows = fig11(&suite);
+        for r in rows.iter().filter(|r| r.policy == PolicyKind::Baseline) {
+            let l2 = r.l2_access + r.l2_movement;
+            // Baseline access+movement is its total (no metadata/EOU).
+            assert!((l2 - 1.0).abs() < 0.05, "{r:?}");
+        }
+        // NUCA policies show outsized movement energy.
+        for r in rows.iter().filter(|r| r.policy == PolicyKind::NuRapid) {
+            assert!(r.l2_movement > 0.5, "{r:?}");
+        }
+        assert!(!fig11_table(&rows).render().is_empty());
+    }
+
+    #[test]
+    fn htree_costs_more_energy() {
+        let rows = htree_comparison(80_000, &["gcc"]);
+        let avg = rows.last().unwrap();
+        assert!(
+            avg.l2_increase > 0.15 && avg.l2_increase < 0.6,
+            "{avg:?}"
+        );
+        assert!(
+            avg.l3_increase > 0.15 && avg.l3_increase < 0.6,
+            "{avg:?}"
+        );
+        assert!(!htree_table(&rows).render().is_empty());
+    }
+
+    #[test]
+    fn set_interleaving_is_energy_neutral_for_placement() {
+        // Under set interleaving every way costs the same, so the
+        // baseline's energy equals the mean-energy model by
+        // construction.
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_policies(&[PolicyKind::Baseline])
+            .with_accesses(50_000);
+        let uniform = apply_topology(opts, Topology::HierarchicalBusSetInterleaved);
+        assert!(uniform.tech.l2.sublevel_access.windows(2).all(|w| w[0] == w[1]));
+    }
+}

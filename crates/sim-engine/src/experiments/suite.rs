@@ -1,0 +1,206 @@
+//! Shared experiment driver: runs a set of benchmarks under a set of
+//! policies once and exposes the results to the per-figure formatters.
+
+use crate::config::{PolicyKind, SystemConfig};
+use crate::result::SimResult;
+use crate::system::run_workload_with_warmup;
+use energy_model::TechnologyParams;
+use std::collections::HashMap;
+
+/// Default trace length per benchmark (overridable with the
+/// `SLIP_ACCESSES` environment variable).
+pub const DEFAULT_ACCESSES: u64 = 2_000_000;
+
+/// Reads the trace length from `SLIP_ACCESSES` or returns the default.
+pub fn accesses_from_env() -> u64 {
+    std::env::var("SLIP_ACCESSES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_ACCESSES)
+}
+
+/// Options for a suite run.
+#[derive(Debug, Clone)]
+pub struct SuiteOptions {
+    /// Accesses per benchmark.
+    pub accesses: u64,
+    /// Unmeasured warmup accesses before measurement begins
+    /// (overridable with `SLIP_WARMUP`; default 0).
+    pub warmup: u64,
+    /// Benchmarks to run (paper order).
+    pub benchmarks: Vec<&'static str>,
+    /// Policies to run.
+    pub policies: Vec<PolicyKind>,
+    /// Technology node.
+    pub tech: TechnologyParams,
+    /// Reuse-distance bin counter width.
+    pub rd_bin_bits: u32,
+}
+
+impl SuiteOptions {
+    /// The paper's full single-core sweep: 14 benchmarks, all policies,
+    /// 45 nm.
+    pub fn paper_full() -> Self {
+        SuiteOptions {
+            accesses: accesses_from_env(),
+            warmup: std::env::var("SLIP_WARMUP")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0),
+            benchmarks: workloads::BENCHMARK_NAMES.to_vec(),
+            policies: PolicyKind::ALL.to_vec(),
+            tech: energy_model::TECH_45NM.clone(),
+            rd_bin_bits: 4,
+        }
+    }
+
+    /// A reduced sweep for the given policies.
+    pub fn with_policies(mut self, policies: &[PolicyKind]) -> Self {
+        self.policies = policies.to_vec();
+        if !self.policies.contains(&PolicyKind::Baseline) {
+            // Savings are always relative to the baseline.
+            self.policies.insert(0, PolicyKind::Baseline);
+        }
+        self
+    }
+
+    /// Restricts the benchmark set.
+    pub fn with_benchmarks(mut self, benchmarks: &[&'static str]) -> Self {
+        self.benchmarks = benchmarks.to_vec();
+        self
+    }
+
+    /// Overrides the trace length.
+    pub fn with_accesses(mut self, accesses: u64) -> Self {
+        self.accesses = accesses;
+        self
+    }
+
+    /// Sets the unmeasured warmup length.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Switches the technology node.
+    pub fn with_tech(mut self, tech: TechnologyParams) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Overrides the distribution counter width.
+    pub fn with_bin_bits(mut self, bits: u32) -> Self {
+        self.rd_bin_bits = bits;
+        self
+    }
+}
+
+/// Results of a suite run, keyed by `(benchmark, policy)`.
+#[derive(Debug)]
+pub struct SuiteResults {
+    /// The options the suite ran with.
+    pub options: SuiteOptions,
+    results: HashMap<(String, PolicyKind), SimResult>,
+}
+
+impl SuiteResults {
+    /// Runs the suite.
+    pub fn run(options: SuiteOptions) -> Self {
+        let mut results = HashMap::new();
+        for &bench in &options.benchmarks {
+            let spec = workloads::workload(bench).expect("known benchmark");
+            for &policy in &options.policies {
+                let mut config = SystemConfig::paper_45nm(policy);
+                config.tech = options.tech.clone();
+                config.rd_bin_bits = options.rd_bin_bits;
+                let r =
+                    run_workload_with_warmup(config, &spec, options.accesses, options.warmup);
+                results.insert((bench.to_owned(), policy), r);
+            }
+        }
+        SuiteResults { options, results }
+    }
+
+    /// The result of one (benchmark, policy) cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if that cell was not part of the sweep.
+    pub fn get(&self, bench: &str, policy: PolicyKind) -> &SimResult {
+        self.results
+            .get(&(bench.to_owned(), policy))
+            .unwrap_or_else(|| panic!("no result for ({bench}, {policy})"))
+    }
+
+    /// The baseline result for a benchmark.
+    pub fn baseline(&self, bench: &str) -> &SimResult {
+        self.get(bench, PolicyKind::Baseline)
+    }
+
+    /// Benchmarks in sweep order.
+    pub fn benchmarks(&self) -> &[&'static str] {
+        &self.options.benchmarks
+    }
+
+    /// L2 energy saving of `policy` on `bench` versus baseline.
+    pub fn l2_saving(&self, bench: &str, policy: PolicyKind) -> f64 {
+        1.0 - self.get(bench, policy).l2_total_energy() / self.baseline(bench).l2_total_energy()
+    }
+
+    /// L3 energy saving of `policy` on `bench` versus baseline.
+    pub fn l3_saving(&self, bench: &str, policy: PolicyKind) -> f64 {
+        1.0 - self.get(bench, policy).l3_total_energy() / self.baseline(bench).l3_total_energy()
+    }
+
+    /// Mean L2 saving over all benchmarks.
+    pub fn mean_l2_saving(&self, policy: PolicyKind) -> f64 {
+        crate::report::mean(
+            &self
+                .benchmarks()
+                .iter()
+                .map(|b| self.l2_saving(b, policy))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean L3 saving over all benchmarks.
+    pub fn mean_l3_saving(&self, policy: PolicyKind) -> f64 {
+        crate::report::mean(
+            &self
+                .benchmarks()
+                .iter()
+                .map(|b| self.l3_saving(b, policy))
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_produces_all_cells() {
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_policies(&[PolicyKind::SlipAbp])
+            .with_accesses(30_000)
+            .with_warmup(10_000);
+        let suite = SuiteResults::run(opts);
+        assert_eq!(suite.benchmarks(), ["gcc"]);
+        let base = suite.baseline("gcc");
+        assert_eq!(base.accesses, 30_000);
+        let slip = suite.get("gcc", PolicyKind::SlipAbp);
+        assert_eq!(slip.accesses, 30_000);
+        // Savings are well-defined numbers.
+        assert!(suite.l2_saving("gcc", PolicyKind::SlipAbp).is_finite());
+        assert!(suite.l3_saving("gcc", PolicyKind::SlipAbp).is_finite());
+    }
+
+    #[test]
+    fn with_policies_always_includes_baseline() {
+        let opts = SuiteOptions::paper_full().with_policies(&[PolicyKind::NuRapid]);
+        assert!(opts.policies.contains(&PolicyKind::Baseline));
+        assert!(opts.policies.contains(&PolicyKind::NuRapid));
+    }
+}

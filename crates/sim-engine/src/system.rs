@@ -1,0 +1,642 @@
+//! The single-core full-hierarchy simulation driver.
+//!
+//! Each demand access flows core → (MMU, for SLIP) → L1 → L2 → L3 →
+//! DRAM, with fills propagating back up, writebacks flowing down
+//! (write-no-allocate below L1), SLIP distribution-metadata traffic
+//! injected at the L2 (it is TLB-side, not core-side), and reuse
+//! distances recorded for sampling pages. The hierarchy is
+//! non-inclusive, which is what makes the All-Bypass Policy legal
+//! (paper §4.3).
+
+use crate::config::{PolicyKind, ReplacementKind, SystemConfig};
+use crate::result::SimResult;
+use cache_sim::{
+    AccessClass, AccessKind, AccessResult, BaselinePolicy, CacheLevel, Drrip, FillRequest,
+    LineAddr, Lru, PageId, PlacementPolicy, ReplacementPolicy, Ship,
+};
+use energy_model::Energy;
+use mem_substrate::{Dram, SlipMmu};
+use nuca_baselines::{LruPea, NuRapid, PeaLru};
+use slip_core::{bin_for_distance, LevelModelParams, SlipLevel, SlipPlacement};
+use workloads::WorkloadSpec;
+
+/// Line address region where per-page distribution metadata lives.
+/// 16 pages' worth of 32 b records pack into each 64 B line.
+const METADATA_BASE_LINE: u64 = 1 << 50;
+
+/// A complete single-core system: L1 + L2 + L3 + DRAM (+ SLIP MMU).
+pub struct SingleCoreSystem {
+    config: SystemConfig,
+    l1: CacheLevel,
+    l2: CacheLevel,
+    l3: CacheLevel,
+    dram: Dram,
+    mmu: Option<SlipMmu>,
+    l1_policy: BaselinePolicy,
+    l1_repl: Lru,
+    l2_policy: Box<dyn PlacementPolicy + Send>,
+    l3_policy: Box<dyn PlacementPolicy + Send>,
+    l2_repl: Box<dyn ReplacementPolicy + Send>,
+    l3_repl: Box<dyn ReplacementPolicy + Send>,
+    l2_cum_caps: Vec<usize>,
+    l3_cum_caps: Vec<usize>,
+    cycles: u64,
+    accesses: u64,
+    core_energy: Energy,
+}
+
+impl SingleCoreSystem {
+    /// Builds a system for `config`.
+    pub fn new(config: SystemConfig) -> Self {
+        let l1 = config.build_l1();
+        let l2 = config.build_l2();
+        let l3 = config.build_l3();
+        let l2_geom = l2.geometry().clone();
+        let l3_geom = l3.geometry().clone();
+        let seed = config.seed;
+
+        let randomized_victims = config.replacement != ReplacementKind::Lru;
+        let (l2_policy, l3_policy): (
+            Box<dyn PlacementPolicy + Send>,
+            Box<dyn PlacementPolicy + Send>,
+        ) =
+            match config.policy {
+                PolicyKind::Baseline => (Box::new(BaselinePolicy::new()), Box::new(BaselinePolicy::new())),
+                PolicyKind::NuRapid => {
+                    (Box::new(NuRapid::new(&l2_geom)), Box::new(NuRapid::new(&l3_geom)))
+                }
+                PolicyKind::LruPea => (
+                    Box::new(LruPea::new(&l2_geom, seed ^ 0xA)),
+                    Box::new(LruPea::new(&l3_geom, seed ^ 0xB)),
+                ),
+                PolicyKind::Slip | PolicyKind::SlipAbp => {
+                    let mut p2 = SlipPlacement::new(SlipLevel::L2, &l2_geom);
+                    let mut p3 = SlipPlacement::new(SlipLevel::L3, &l3_geom);
+                    if randomized_victims {
+                        p2 = p2.with_randomized_victim_sublevel(seed ^ 0xC);
+                        p3 = p3.with_randomized_victim_sublevel(seed ^ 0xD);
+                    }
+                    (Box::new(p2), Box::new(p3))
+                }
+            };
+
+        let make_repl = |salt: u64| -> Box<dyn ReplacementPolicy + Send> {
+            if config.policy == PolicyKind::LruPea {
+                // LRU-PEA's defining feature is its eviction priority.
+                return Box::new(PeaLru::new());
+            }
+            match config.replacement {
+                ReplacementKind::Lru => Box::new(Lru::new()),
+                ReplacementKind::Drrip => Box::new(Drrip::new(seed ^ salt)),
+                ReplacementKind::Ship => Box::new(Ship::new()),
+            }
+        };
+
+        let mmu = if config.policy.is_slip() {
+            let l2_params =
+                LevelModelParams::from_level(&config.tech.l2, config.tech.l3.mean_access());
+            let l3_params =
+                LevelModelParams::from_level(&config.tech.l3, config.tech.dram_line_energy());
+            let mut mmu = SlipMmu::with_config(
+                seed ^ 0x1,
+                l2_params,
+                l3_params,
+                config.sampling,
+                mem_substrate::Tlb::paper_default(),
+            )
+            .with_bin_bits(config.rd_bin_bits)
+            .with_block_shift(config.rd_block_shift);
+            if config.policy == PolicyKind::Slip {
+                mmu = mmu.forbid_all_bypass();
+            }
+            mmu = mmu.with_eou_objective(config.eou_objective);
+            Some(mmu)
+        } else {
+            None
+        };
+
+        let l2_cum_caps = l2_geom.cumulative_sublevel_lines();
+        let l3_cum_caps = l3_geom.cumulative_sublevel_lines();
+        let l2_repl = make_repl(0x22);
+        let l3_repl = make_repl(0x33);
+
+        SingleCoreSystem {
+            config,
+            l1,
+            l2,
+            l3,
+            dram: Dram::from_pj_per_bit(0.0), // replaced below
+            mmu,
+            l1_policy: BaselinePolicy::new(),
+            l1_repl: Lru::new(),
+            l2_policy,
+            l3_policy,
+            l2_repl,
+            l3_repl,
+            l2_cum_caps,
+            l3_cum_caps,
+            cycles: 0,
+            accesses: 0,
+            core_energy: Energy::ZERO,
+        }
+        .with_dram()
+    }
+
+    fn with_dram(mut self) -> Self {
+        self.dram = Dram::from_pj_per_bit(self.config.tech.dram_pj_per_bit);
+        self
+    }
+
+    /// The metadata line holding `page`'s packed distribution record.
+    fn meta_line(page: PageId) -> LineAddr {
+        LineAddr(METADATA_BASE_LINE + page.0 / 16)
+    }
+
+    /// SHiP signature for a page.
+    fn signature(page: PageId) -> u16 {
+        (page.0 & 0x3FFF) as u16
+    }
+
+    /// Simulates one access; advances the cycle clock.
+    pub fn step(&mut self, access: cache_sim::Access) {
+        let line = access.line();
+        let page = access.page();
+        self.accesses += 1;
+        self.core_energy += self.config.core_energy_per_access;
+        let mut latency = self.config.core_cycles_per_access;
+
+        // --- Translation (SLIP only) ---
+        let (slip_codes, sampling) = if let Some(mmu) = self.mmu.as_mut() {
+            let t = mmu.translate_line(line);
+            latency += t.extra_cycles;
+            if t.fetch_metadata {
+                // The distribution fetch overlaps the demand access (it
+                // feeds the TLB, not the load); only its energy and
+                // traffic are charged, not its latency.
+                let block = self.mmu.as_ref().expect("mmu present").block_of(line);
+                self.metadata_fetch(Self::meta_line(block));
+            }
+            if let Some(p) = t.writeback_metadata_page {
+                self.metadata_writeback(Self::meta_line(p));
+            }
+            (t.slip_codes, t.sampling)
+        } else {
+            ([0, 0], false)
+        };
+
+        // --- L1 ---
+        let now = self.cycles;
+        let r1 = self.l1.access(
+            line,
+            access.kind,
+            AccessClass::Demand,
+            now,
+            &mut self.l1_policy,
+            &mut self.l1_repl,
+        );
+        if let AccessResult::Hit(h) = r1 {
+            self.cycles += u64::from(latency + h.latency);
+            return;
+        }
+        latency += r1.latency();
+
+        // --- L2 ---
+        let r2 = self.l2.access(
+            line,
+            access.kind,
+            AccessClass::Demand,
+            now,
+            self.l2_policy.as_mut(),
+            self.l2_repl.as_mut(),
+        );
+        match r2 {
+            AccessResult::Hit(h2) => {
+                latency += h2.latency;
+                if sampling {
+                    let bin = bin_for_distance(h2.reuse_distance, &self.l2_cum_caps);
+                    if let Some(mmu) = self.mmu.as_mut() {
+                        mmu.record_reuse_line(line, SlipLevel::L2, bin);
+                    }
+                }
+                self.fill_l1(line, access.kind);
+            }
+            AccessResult::Miss { latency: l2_lat } => {
+                latency += l2_lat;
+                if sampling {
+                    if let Some(mmu) = self.mmu.as_mut() {
+                        mmu.record_reuse_line(line, SlipLevel::L2, self.l2_cum_caps.len());
+                    }
+                }
+                // --- L3 ---
+                let r3 = self.l3.access(
+                    line,
+                    access.kind,
+                    AccessClass::Demand,
+                    now,
+                    self.l3_policy.as_mut(),
+                    self.l3_repl.as_mut(),
+                );
+                match r3 {
+                    AccessResult::Hit(h3) => {
+                        latency += h3.latency;
+                        if sampling {
+                            let bin = bin_for_distance(h3.reuse_distance, &self.l3_cum_caps);
+                            if let Some(mmu) = self.mmu.as_mut() {
+                                mmu.record_reuse_line(line, SlipLevel::L3, bin);
+                            }
+                        }
+                        self.fill_l2(line, slip_codes, sampling, page);
+                        self.fill_l1(line, access.kind);
+                    }
+                    AccessResult::Miss { latency: l3_lat } => {
+                        latency += l3_lat;
+                        if sampling {
+                            if let Some(mmu) = self.mmu.as_mut() {
+                                mmu.record_reuse_line(line, SlipLevel::L3, self.l3_cum_caps.len());
+                            }
+                        }
+                        latency += self.dram.read_line();
+                        let l3_bypassed = self.fill_l3(line, slip_codes, sampling, page);
+                        if l3_bypassed && self.config.inclusive_llc {
+                            // An inclusive LLC cannot hold a copy above
+                            // a line it does not hold (paper §4.3) —
+                            // the line is served uncached.
+                        } else {
+                            self.fill_l2(line, slip_codes, sampling, page);
+                            self.fill_l1(line, access.kind);
+                        }
+                    }
+                }
+            }
+        }
+        self.cycles += u64::from(latency);
+    }
+
+    /// Fills a line into L1 (write-allocate: stores dirty the L1 copy).
+    fn fill_l1(&mut self, line: LineAddr, kind: AccessKind) {
+        let mut req = FillRequest::new(line);
+        req.dirty = kind.is_write();
+        let now = self.cycles;
+        let out = self
+            .l1
+            .fill(req, now, &mut self.l1_policy, &mut self.l1_repl);
+        for wb in out.writebacks {
+            self.writeback_below_l1(wb.addr);
+        }
+    }
+
+    fn fill_l2(&mut self, line: LineAddr, slip_codes: [u8; 2], sampling: bool, page: PageId) {
+        let mut req = FillRequest::new(line);
+        req.slip_codes = slip_codes;
+        req.sampling = sampling;
+        req.signature = Self::signature(page);
+        let now = self.cycles;
+        let out = self
+            .l2
+            .fill(req, now, self.l2_policy.as_mut(), self.l2_repl.as_mut());
+        for wb in out.writebacks {
+            self.writeback_below_l2(wb.addr);
+        }
+    }
+
+    fn fill_l3(&mut self, line: LineAddr, slip_codes: [u8; 2], sampling: bool, page: PageId) -> bool {
+        let mut req = FillRequest::new(line);
+        req.slip_codes = slip_codes;
+        req.sampling = sampling;
+        req.signature = Self::signature(page);
+        let now = self.cycles;
+        let out = self
+            .l3
+            .fill(req, now, self.l3_policy.as_mut(), self.l3_repl.as_mut());
+        for wb in &out.writebacks {
+            self.dram.write_line();
+            if self.config.inclusive_llc {
+                self.back_invalidate(wb.addr);
+            }
+        }
+        if self.config.inclusive_llc {
+            for ev in &out.clean_evictions {
+                self.back_invalidate(ev.addr);
+            }
+        }
+        out.bypassed
+    }
+
+    /// Inclusive-LLC back-invalidation: a line leaving the L3 must also
+    /// leave the levels above; dirty upper copies go straight to DRAM
+    /// (their L3 copy is gone).
+    fn back_invalidate(&mut self, line: LineAddr) {
+        let dirty_above = self
+            .l1
+            .invalidate(line)
+            .map(|e| e.dirty)
+            .unwrap_or(false)
+            | self
+                .l2
+                .invalidate(line)
+                .map(|e| e.dirty)
+                .unwrap_or(false);
+        if dirty_above {
+            self.dram.write_line();
+        }
+    }
+
+    /// Routes an L1 dirty eviction down the hierarchy
+    /// (write-no-allocate at L2/L3).
+    fn writeback_below_l1(&mut self, line: LineAddr) {
+        if self.l2.writeback_access(line, self.l2_policy.as_mut()) {
+            return;
+        }
+        self.writeback_below_l2(line);
+    }
+
+    /// Routes an L2 dirty eviction to L3 or DRAM.
+    fn writeback_below_l2(&mut self, line: LineAddr) {
+        if self.l3.writeback_access(line, self.l3_policy.as_mut()) {
+            return;
+        }
+        self.dram.write_line();
+    }
+
+    /// Fetches a page's 32 b distribution record through L2 → L3 → DRAM
+    /// (metadata class); fills the caches with the metadata line.
+    /// Returns the latency.
+    fn metadata_fetch(&mut self, meta_line: LineAddr) -> u32 {
+        let now = self.cycles;
+        let r2 = self.l2.access(
+            meta_line,
+            AccessKind::Read,
+            AccessClass::Metadata,
+            now,
+            self.l2_policy.as_mut(),
+            self.l2_repl.as_mut(),
+        );
+        if let AccessResult::Hit(h) = r2 {
+            return h.latency;
+        }
+        let mut latency = r2.latency();
+        let r3 = self.l3.access(
+            meta_line,
+            AccessKind::Read,
+            AccessClass::Metadata,
+            now,
+            self.l3_policy.as_mut(),
+            self.l3_repl.as_mut(),
+        );
+        match r3 {
+            AccessResult::Hit(h3) => {
+                latency += h3.latency;
+            }
+            AccessResult::Miss { latency: l3_lat } => {
+                latency += l3_lat + self.dram.read_metadata();
+                self.fill_metadata_line(meta_line, &FillLevel::L3);
+            }
+        }
+        self.fill_metadata_line(meta_line, &FillLevel::L2);
+        latency
+    }
+
+    fn fill_metadata_line(&mut self, meta_line: LineAddr, level: &FillLevel) {
+        // Metadata lines carry the Default SLIP so they behave like
+        // regular cache residents without recursive profiling.
+        let default_code = slip_core::Slip::default_slip(self.l2.geometry().sublevels())
+            .expect("valid sublevels")
+            .code();
+        let mut req = FillRequest::new(meta_line);
+        req.slip_codes = [default_code, default_code];
+        req.signature = 0xFFFF;
+        let now = self.cycles;
+        match level {
+            FillLevel::L2 => {
+                let out = self
+                    .l2
+                    .fill(req, now, self.l2_policy.as_mut(), self.l2_repl.as_mut());
+                for wb in out.writebacks {
+                    self.writeback_below_l2(wb.addr);
+                }
+            }
+            FillLevel::L3 => {
+                let out = self
+                    .l3
+                    .fill(req, now, self.l3_policy.as_mut(), self.l3_repl.as_mut());
+                for _wb in out.writebacks {
+                    self.dram.write_line();
+                }
+            }
+        }
+    }
+
+    /// Writes a page's distribution record back (TLB eviction of a
+    /// sampling page).
+    fn metadata_writeback(&mut self, meta_line: LineAddr) {
+        if self.l2.writeback_access(meta_line, self.l2_policy.as_mut()) {
+            return;
+        }
+        if self.l3.writeback_access(meta_line, self.l3_policy.as_mut()) {
+            return;
+        }
+        self.dram.write_metadata();
+    }
+
+    /// Runs a whole trace.
+    pub fn run<I: IntoIterator<Item = cache_sim::Access>>(&mut self, trace: I) {
+        for access in trace {
+            self.step(access);
+        }
+    }
+
+    /// Clears all statistics and energy accounting while keeping the
+    /// architectural state (cache contents, page table, TLB, sampler
+    /// states). Call after a warmup run so measurements reflect steady
+    /// state, as the paper's simpoint methodology does.
+    pub fn reset_measurements(&mut self) {
+        self.l1.reset_measurements();
+        self.l2.reset_measurements();
+        self.l3.reset_measurements();
+        self.dram.reset_measurements();
+        if let Some(mmu) = self.mmu.as_mut() {
+            mmu.reset_measurements();
+        }
+        self.cycles = 0;
+        self.accesses = 0;
+        self.core_energy = Energy::ZERO;
+    }
+
+    /// Finalizes statistics and extracts the result.
+    pub fn finish(mut self, workload: impl Into<String>) -> SimResult {
+        self.l1.finalize();
+        self.l2.finalize();
+        self.l3.finalize();
+        SimResult {
+            workload: workload.into(),
+            policy: self.config.policy,
+            accesses: self.accesses,
+            cycles: self.cycles,
+            l1_stats: self.l1.stats.clone(),
+            l2_stats: self.l2.stats.clone(),
+            l3_stats: self.l3.stats.clone(),
+            l1_energy: self.l1.energy.clone(),
+            l2_energy: self.l2.energy.clone(),
+            l3_energy: self.l3.energy.clone(),
+            dram_reads: self.dram.reads,
+            dram_writes: self.dram.writes,
+            dram_metadata_reads: self.dram.metadata_reads,
+            dram_metadata_writes: self.dram.metadata_writes,
+            dram_energy: self.dram.energy.clone(),
+            mmu_stats: self.mmu.as_ref().map(|m| m.stats),
+            eou_energy: self
+                .mmu
+                .as_ref()
+                .map_or(Energy::ZERO, |m| m.eou_energy()),
+            core_energy: self.core_energy,
+        }
+    }
+
+    /// Read access to the L2 (for tests).
+    pub fn l2(&self) -> &CacheLevel {
+        &self.l2
+    }
+
+    /// Read access to the L3 (for tests).
+    pub fn l3(&self) -> &CacheLevel {
+        &self.l3
+    }
+
+    /// Read access to the MMU (for tests).
+    pub fn mmu(&self) -> Option<&SlipMmu> {
+        self.mmu.as_ref()
+    }
+}
+
+enum FillLevel {
+    L2,
+    L3,
+}
+
+/// Runs `spec` for `len` accesses under `config` and returns the result.
+pub fn run_workload(config: SystemConfig, spec: &WorkloadSpec, len: u64) -> SimResult {
+    run_workload_with_warmup(config, spec, len, 0)
+}
+
+/// Runs `warmup` accesses unmeasured (caches and policy state warm up),
+/// then measures the next `len` accesses.
+pub fn run_workload_with_warmup(
+    config: SystemConfig,
+    spec: &WorkloadSpec,
+    len: u64,
+    warmup: u64,
+) -> SimResult {
+    let seed = config.seed;
+    let mut system = SingleCoreSystem::new(config);
+    let mut trace = spec.trace(warmup + len, seed);
+    for _ in 0..warmup {
+        let access = trace.next().expect("trace long enough for warmup");
+        system.step(access);
+    }
+    system.reset_measurements();
+    system.run(trace);
+    system.finish(spec.name().to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cache_sim::Access;
+
+    fn config(policy: PolicyKind) -> SystemConfig {
+        SystemConfig::paper_45nm(policy)
+    }
+
+    #[test]
+    fn baseline_hit_flow() {
+        let mut sys = SingleCoreSystem::new(config(PolicyKind::Baseline));
+        // Touch one line twice: first access misses everywhere, second
+        // hits the L1.
+        sys.step(Access::read(0x1000));
+        sys.step(Access::read(0x1000));
+        let r = sys.finish("t");
+        assert_eq!(r.l1_stats.demand_accesses, 2);
+        assert_eq!(r.l1_stats.demand_hits, 1);
+        assert_eq!(r.l2_stats.demand_misses, 1);
+        assert_eq!(r.l3_stats.demand_misses, 1);
+        assert_eq!(r.dram_reads, 1);
+        assert_eq!(r.accesses, 2);
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn slip_system_has_mmu_and_metadata_traffic() {
+        let mut sys = SingleCoreSystem::new(config(PolicyKind::SlipAbp));
+        assert!(sys.mmu().is_some());
+        // Touch many pages to force TLB misses on sampling pages.
+        for p in 0..100u64 {
+            sys.step(Access::read(p * 4096));
+        }
+        let r = sys.finish("t");
+        let mmu = r.mmu_stats.unwrap();
+        assert_eq!(mmu.tlb_misses, 100);
+        assert!(mmu.metadata_fetches > 0);
+        // Metadata traffic shows up in cache stats.
+        assert!(r.l2_stats.metadata_accesses > 0);
+    }
+
+    #[test]
+    fn dirty_lines_write_back_to_dram_eventually() {
+        let mut sys = SingleCoreSystem::new(config(PolicyKind::Baseline));
+        // Write a large streaming region so dirty lines are evicted all
+        // the way down.
+        for i in 0..200_000u64 {
+            sys.step(Access::write(i * 64));
+        }
+        let r = sys.finish("t");
+        assert!(r.dram_writes > 0, "dram writes {}", r.dram_writes);
+    }
+
+    #[test]
+    fn policies_see_identical_demand_streams() {
+        // The demand access counts at L1/L2 must be identical across
+        // policies for the same trace (metadata traffic differs).
+        let spec = workloads::workload("gcc").unwrap();
+        let base = run_workload(config(PolicyKind::Baseline), &spec, 20_000);
+        let slip = run_workload(config(PolicyKind::SlipAbp), &spec, 20_000);
+        assert_eq!(base.l1_stats.demand_accesses, slip.l1_stats.demand_accesses);
+        assert_eq!(base.l2_stats.demand_accesses, slip.l2_stats.demand_accesses);
+    }
+
+    #[test]
+    fn nuca_policies_promote() {
+        let spec = workloads::workload("sphinx3").unwrap();
+        let r = run_workload(config(PolicyKind::NuRapid), &spec, 50_000);
+        assert!(r.l2_stats.promotions > 0);
+        let r = run_workload(config(PolicyKind::LruPea), &spec, 50_000);
+        assert!(r.l2_stats.promotions > 0);
+    }
+
+    #[test]
+    fn warmup_is_excluded_from_measurements() {
+        let spec = workloads::workload("gcc").unwrap();
+        let cold = run_workload(config(PolicyKind::SlipAbp), &spec, 50_000);
+        let warm =
+            super::run_workload_with_warmup(config(PolicyKind::SlipAbp), &spec, 50_000, 100_000);
+        // Same measured access count...
+        assert_eq!(cold.accesses, warm.accesses);
+        // ...but the warmed run measures steady state: caches are full
+        // and pages stabilized, so its L2 hit rate differs from the
+        // cold run's and no cold-start insertions inflate its counts.
+        assert!(warm.l2_stats.insertions < cold.l2_stats.insertions + 50_000);
+        assert!(warm.cycles > 0);
+        // Bypassing is established from the first measured access.
+        assert!(
+            warm.l2_stats.insertion_class_fractions()[0]
+                >= cold.l2_stats.insertion_class_fractions()[0]
+        );
+    }
+
+    #[test]
+    fn slip_never_promotes() {
+        let spec = workloads::workload("sphinx3").unwrap();
+        let r = run_workload(config(PolicyKind::SlipAbp), &spec, 50_000);
+        assert_eq!(r.l2_stats.promotions, 0);
+        assert_eq!(r.l3_stats.promotions, 0);
+    }
+}

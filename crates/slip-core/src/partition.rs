@@ -1,0 +1,239 @@
+//! Way-partitioned SLIP for shared caches (paper Section 7).
+//!
+//! For CMPs, the paper argues SLIP is orthogonal to cache partitioning:
+//! given any assignment of ways to cores, SLIP can run *within* each
+//! core's partition to minimize its access energy. [`PartitionedSlip`]
+//! implements that: it wraps a policy's decisions and intersects every
+//! insertion/demotion mask with the owning core's way partition, so a
+//! core's lines never displace another core's.
+//!
+//! Partitions should take an equal share of every sublevel (e.g. ways
+//! {0,1,4,5,8,9,10,11} vs {2,3,6,7,12,13,14,15} under the paper's 4/4/8
+//! split), so both cores see the same energy ladder; see
+//! [`interleaved_partitions`].
+
+use crate::placement::{SlipLevel, SlipPlacement};
+use cache_sim::policy::{FillRequest, InsertionClass, PlacementPolicy};
+use cache_sim::{CacheGeometry, LineState, WayMask};
+
+/// Splits a geometry's ways into `n` partitions, each taking an equal
+/// share of every sublevel (so every partition sees the same
+/// near-to-far energy ladder).
+///
+/// # Panics
+///
+/// Panics if any sublevel's way count is not divisible by `n`.
+pub fn interleaved_partitions(geom: &CacheGeometry, n: usize) -> Vec<WayMask> {
+    assert!(n >= 1, "need at least one partition");
+    let mut parts = vec![WayMask::EMPTY; n];
+    for s in 0..geom.sublevels() {
+        let ways: Vec<usize> = geom.sublevel_ways(s).iter().collect();
+        assert_eq!(
+            ways.len() % n,
+            0,
+            "sublevel {s} ways ({}) not divisible by {n} partitions",
+            ways.len()
+        );
+        let share = ways.len() / n;
+        for (p, chunk) in ways.chunks(share).enumerate() {
+            for &w in chunk {
+                parts[p] = parts[p].union(WayMask::single(w));
+            }
+        }
+    }
+    parts
+}
+
+/// SLIP placement restricted to one core's way partition.
+///
+/// # Example
+///
+/// ```
+/// use cache_sim::{CacheGeometry, FillRequest, LineAddr, PlacementPolicy};
+/// use energy_model::Energy;
+/// use slip_core::{interleaved_partitions, PartitionedSlip, Slip, SlipLevel};
+///
+/// let geom = CacheGeometry::from_sublevels(
+///     2048,
+///     &[(4, Energy::from_pj(67.0), 15),
+///       (4, Energy::from_pj(113.0), 19),
+///       (8, Energy::from_pj(176.0), 23)],
+/// );
+/// let parts = interleaved_partitions(&geom, 2);
+/// let mut core0 = PartitionedSlip::new(SlipLevel::L3, &geom, parts[0]);
+///
+/// let mut req = FillRequest::new(LineAddr(0));
+/// req.slip_codes[1] = Slip::default_slip(3).unwrap().code();
+/// let mask = core0.insertion_mask(&geom, &req).unwrap();
+/// // Only core 0's 8 ways are eligible.
+/// assert_eq!(mask, parts[0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PartitionedSlip {
+    inner: SlipPlacement,
+    partition: WayMask,
+}
+
+impl PartitionedSlip {
+    /// Creates SLIP placement confined to `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition misses any sublevel entirely (a SLIP
+    /// chunk there would have no eligible ways).
+    pub fn new(level: SlipLevel, geom: &CacheGeometry, partition: WayMask) -> Self {
+        for s in 0..geom.sublevels() {
+            assert!(
+                !geom.sublevel_ways(s).intersect(partition).is_empty(),
+                "partition must cover every sublevel (misses sublevel {s})"
+            );
+        }
+        PartitionedSlip {
+            inner: SlipPlacement::new(level, geom),
+            partition,
+        }
+    }
+
+    /// The way partition this policy is confined to.
+    pub fn partition(&self) -> WayMask {
+        self.partition
+    }
+}
+
+impl PlacementPolicy for PartitionedSlip {
+    fn name(&self) -> &'static str {
+        "SLIP(partitioned)"
+    }
+
+    fn insertion_mask(&mut self, geom: &CacheGeometry, req: &FillRequest) -> Option<WayMask> {
+        self.inner
+            .insertion_mask(geom, req)
+            .map(|m| m.intersect(self.partition))
+    }
+
+    fn demotion_mask(
+        &mut self,
+        geom: &CacheGeometry,
+        line: &LineState,
+        from_way: usize,
+    ) -> Option<WayMask> {
+        let m = self.inner.demotion_mask(geom, line, from_way)?;
+        let restricted = m.intersect(self.partition);
+        // A foreign line (placed by the other core's policy) displaced
+        // from our partition would get an empty mask; evict it instead.
+        if restricted.is_empty() {
+            None
+        } else {
+            Some(restricted)
+        }
+    }
+
+    fn classify_insertion(&self, geom: &CacheGeometry, req: &FillRequest) -> InsertionClass {
+        self.inner.classify_insertion(geom, req)
+    }
+
+    fn uses_movement_queue(&self) -> bool {
+        true
+    }
+
+    fn uses_line_metadata(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slip::Slip;
+    use cache_sim::LineAddr;
+    use energy_model::Energy;
+
+    fn paper_l3() -> CacheGeometry {
+        CacheGeometry::from_sublevels(
+            64,
+            &[
+                (4, Energy::from_pj(67.0), 15),
+                (4, Energy::from_pj(113.0), 19),
+                (8, Energy::from_pj(176.0), 23),
+            ],
+        )
+    }
+
+    #[test]
+    fn interleaved_partitions_cover_all_ways_disjointly() {
+        let g = paper_l3();
+        let parts = interleaved_partitions(&g, 2);
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].intersect(parts[1]), WayMask::EMPTY);
+        assert_eq!(parts[0].union(parts[1]), WayMask::full(16));
+        // Each partition holds half of every sublevel.
+        for s in 0..3 {
+            let sub = g.sublevel_ways(s);
+            assert_eq!(parts[0].intersect(sub).count(), sub.count() / 2);
+        }
+    }
+
+    #[test]
+    fn four_way_partitioning_works_too() {
+        let g = paper_l3();
+        let parts = interleaved_partitions(&g, 4);
+        assert_eq!(parts.len(), 4);
+        let mut union = WayMask::EMPTY;
+        for p in &parts {
+            assert_eq!(p.count(), 4);
+            union = union.union(*p);
+        }
+        assert_eq!(union, WayMask::full(16));
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_partitioning_rejected() {
+        interleaved_partitions(&paper_l3(), 3);
+    }
+
+    fn req_with(code: u8) -> FillRequest {
+        let mut r = FillRequest::new(LineAddr(0));
+        r.slip_codes = [code, code];
+        r
+    }
+
+    #[test]
+    fn insertion_and_demotion_stay_in_partition() {
+        let g = paper_l3();
+        let parts = interleaved_partitions(&g, 2);
+        let mut p = PartitionedSlip::new(SlipLevel::L3, &g, parts[1]);
+        let slip = Slip::from_chunk_ends(3, &[0, 2]).unwrap();
+        let mask = p.insertion_mask(&g, &req_with(slip.code())).unwrap();
+        assert!(!mask.is_empty());
+        assert_eq!(mask.difference(parts[1]), WayMask::EMPTY);
+        // Demotion from the partition's sublevel-0 way stays inside too.
+        let way = mask.first().unwrap();
+        let mut line = LineState::new(LineAddr(0));
+        line.slip_codes = [slip.code(), slip.code()];
+        let next = p.demotion_mask(&g, &line, way).unwrap();
+        assert!(!next.is_empty());
+        assert_eq!(next.difference(parts[1]), WayMask::EMPTY);
+    }
+
+    #[test]
+    fn abp_still_bypasses() {
+        let g = paper_l3();
+        let parts = interleaved_partitions(&g, 2);
+        let mut p = PartitionedSlip::new(SlipLevel::L3, &g, parts[0]);
+        let abp = Slip::all_bypass(3).unwrap();
+        assert_eq!(p.insertion_mask(&g, &req_with(abp.code())), None);
+        assert_eq!(
+            p.classify_insertion(&g, &req_with(abp.code())),
+            InsertionClass::AllBypass
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every sublevel")]
+    fn partition_missing_a_sublevel_rejected() {
+        let g = paper_l3();
+        // Only sublevel-0 ways: demotions would have nowhere to go.
+        PartitionedSlip::new(SlipLevel::L3, &g, WayMask::from_range(0..4));
+    }
+}

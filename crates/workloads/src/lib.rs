@@ -1,0 +1,32 @@
+//! Synthetic SPEC-CPU2006-like workloads for the SLIP reproduction.
+//!
+//! The paper evaluates on the memory-intensive SPEC CPU2006 benchmarks.
+//! We substitute each benchmark with a deterministic synthetic trace
+//! generator whose reuse-distance mixture mimics the benchmark's
+//! qualitative profile (DESIGN.md §4 documents the substitution). A
+//! workload is a phased, weighted mixture of four elementary patterns —
+//! loops, streams, random access, and pointer chases — each of which
+//! pins the reuse distances of its lines, which is the only property
+//! SLIP's decision-making consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use workloads::spec;
+//!
+//! let soplex = spec::workload("soplex").unwrap();
+//! let trace: Vec<_> = soplex.trace(10_000, 42).collect();
+//! assert_eq!(trace.len(), 10_000);
+//! // Deterministic: the same seed reproduces the same trace.
+//! let again: Vec<_> = soplex.trace(10_000, 42).collect();
+//! assert_eq!(trace, again);
+//! ```
+
+pub mod io;
+pub mod pattern;
+pub mod spec;
+pub mod trace;
+
+pub use pattern::{PatternKind, PatternSpec};
+pub use spec::{all_workloads, workload, BENCHMARK_NAMES, MULTICORE_MIXES};
+pub use trace::{PhaseSpec, Trace, WorkloadSpec};

@@ -1,0 +1,260 @@
+//! Elementary access patterns with controlled reuse-distance behavior.
+//!
+//! Every workload is a weighted mixture of four elementary patterns,
+//! each of which pins the reuse distances of its lines:
+//!
+//! * [`PatternKind::Loop`] — repeated sequential sweep over a working
+//!   set: every line's reuse distance ≈ the working-set size. Fits a
+//!   cache level iff the working set does (the paper's "stream fits
+//!   within 64 KB" case of Figure 3).
+//! * [`PatternKind::Scan`] — a long streaming pass over a region far
+//!   larger than the LLC: reuse distances beyond every cache size, the
+//!   classic NR = 0 lines of Figure 1.
+//! * [`PatternKind::Random`] — uniform random lines in a region:
+//!   reuse distances geometrically spread around the region size
+//!   (the `rperm[rorig[i]]` accesses of Figure 3).
+//! * [`PatternKind::Chase`] — a pointer chase over a full-period
+//!   permutation cycle of a region: like `Loop` in reuse distance but
+//!   with no spatial order.
+
+use cache_sim::addr::LINE_BYTES;
+use cache_sim::rng::SplitMix64;
+use cache_sim::{Access, AccessKind};
+
+/// The kind and size of an elementary pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternKind {
+    /// Sequential sweep over `region_kb`, restarting at the end.
+    Loop {
+        /// Working-set size in KiB.
+        region_kb: u64,
+    },
+    /// Streaming scan over `region_kb` (choose ≫ LLC so lines never
+    /// reuse within cache-visible distances).
+    Scan {
+        /// Stream footprint in KiB before wrapping.
+        region_kb: u64,
+    },
+    /// Uniform-random lines within `region_kb`.
+    Random {
+        /// Region size in KiB.
+        region_kb: u64,
+    },
+    /// Pointer chase over a full-period permutation of `region_kb`.
+    Chase {
+        /// Region size in KiB.
+        region_kb: u64,
+    },
+}
+
+impl PatternKind {
+    /// Footprint of the pattern in lines.
+    pub fn region_lines(self) -> u64 {
+        let kb = match self {
+            PatternKind::Loop { region_kb }
+            | PatternKind::Scan { region_kb }
+            | PatternKind::Random { region_kb }
+            | PatternKind::Chase { region_kb } => region_kb,
+        };
+        (kb * 1024 / LINE_BYTES).max(1)
+    }
+}
+
+/// One pattern inside a mixture: kind, mixture weight, store ratio,
+/// and burst length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternSpec {
+    /// The elementary pattern.
+    pub kind: PatternKind,
+    /// Relative share of the phase's accesses this pattern receives.
+    pub weight: u32,
+    /// Fraction of this pattern's accesses that are stores.
+    pub write_fraction: f64,
+    /// Consecutive accesses issued per scheduling turn. Real programs
+    /// execute in bursts (a loop nest runs for a while before control
+    /// moves on), which is what lets a loop's reuse distance be
+    /// dominated by its own working set rather than diluted by
+    /// unrelated traffic. Defaults per kind: loops 256, scans 128,
+    /// random/chase 8.
+    pub burst: u32,
+}
+
+impl PatternSpec {
+    /// Creates a spec with the kind-default burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is zero or `write_fraction` is outside [0, 1].
+    pub fn new(kind: PatternKind, weight: u32, write_fraction: f64) -> Self {
+        let burst = match kind {
+            PatternKind::Loop { .. } => 256,
+            PatternKind::Scan { .. } => 128,
+            PatternKind::Random { .. } | PatternKind::Chase { .. } => 8,
+        };
+        Self::with_burst(kind, weight, write_fraction, burst)
+    }
+
+    /// Creates a spec with an explicit burst length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` or `burst` is zero, or `write_fraction` is
+    /// outside [0, 1].
+    pub fn with_burst(kind: PatternKind, weight: u32, write_fraction: f64, burst: u32) -> Self {
+        assert!(weight > 0, "weight must be positive");
+        assert!(burst > 0, "burst must be positive");
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        PatternSpec {
+            kind,
+            weight,
+            write_fraction,
+            burst,
+        }
+    }
+}
+
+/// Runtime state of one elementary pattern.
+#[derive(Debug, Clone)]
+pub(crate) struct PatternState {
+    kind: PatternKind,
+    /// First line address of this pattern's private region.
+    base_line: u64,
+    region_lines: u64,
+    /// Loop/Scan: current offset. Chase: current LCG value.
+    cursor: u64,
+    write_fraction: f64,
+}
+
+impl PatternState {
+    pub(crate) fn new(spec: &PatternSpec, base_line: u64) -> Self {
+        let region_lines = spec.kind.region_lines();
+        PatternState {
+            kind: spec.kind,
+            base_line,
+            region_lines,
+            cursor: 0,
+            write_fraction: spec.write_fraction,
+        }
+    }
+
+    /// Produces the next access of this pattern.
+    pub(crate) fn next_access(&mut self, rng: &mut SplitMix64) -> Access {
+        let line_off = match self.kind {
+            PatternKind::Loop { .. } | PatternKind::Scan { .. } => {
+                let off = self.cursor;
+                self.cursor = (self.cursor + 1) % self.region_lines;
+                off
+            }
+            PatternKind::Random { .. } => rng.next_below(self.region_lines),
+            PatternKind::Chase { .. } => {
+                // Full-period LCG over [0, region): a=5 (≡1 mod 4 when
+                // region is a power of two; we round up), c odd.
+                let m = self.region_lines.next_power_of_two();
+                loop {
+                    self.cursor = (self.cursor.wrapping_mul(5).wrapping_add(0x9E37)) & (m - 1);
+                    if self.cursor < self.region_lines {
+                        break;
+                    }
+                }
+                self.cursor
+            }
+        };
+        let addr = (self.base_line + line_off) * LINE_BYTES;
+        let kind = if rng.next_f64() < self.write_fraction {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        Access { addr, kind }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn drive(kind: PatternKind, n: usize) -> Vec<u64> {
+        let spec = PatternSpec::new(kind, 1, 0.0);
+        let mut st = PatternState::new(&spec, 1 << 20);
+        let mut rng = SplitMix64::new(1);
+        (0..n)
+            .map(|_| st.next_access(&mut rng).line().0)
+            .collect()
+    }
+
+    #[test]
+    fn loop_pattern_revisits_with_fixed_distance() {
+        // 4 KB loop = 64 lines: every line recurs exactly every 64
+        // accesses.
+        let lines = drive(PatternKind::Loop { region_kb: 4 }, 256);
+        for i in 0..192 {
+            assert_eq!(lines[i], lines[i + 64]);
+        }
+        // And the working set is exactly 64 lines.
+        let set: HashSet<u64> = lines.iter().copied().collect();
+        assert_eq!(set.len(), 64);
+    }
+
+    #[test]
+    fn scan_pattern_is_sequential_and_fresh() {
+        let lines = drive(PatternKind::Scan { region_kb: 1024 }, 1000);
+        for w in lines.windows(2) {
+            assert_eq!(w[1], w[0] + 1);
+        }
+        let set: HashSet<u64> = lines.iter().copied().collect();
+        assert_eq!(set.len(), 1000, "no reuse within the footprint");
+    }
+
+    #[test]
+    fn random_pattern_stays_in_region() {
+        let region_kb = 64u64;
+        let lines = drive(PatternKind::Random { region_kb }, 10_000);
+        let base = 1u64 << 20;
+        let region_lines = region_kb * 1024 / 64;
+        for &l in &lines {
+            assert!(l >= base && l < base + region_lines);
+        }
+        // Good coverage of the region.
+        let set: HashSet<u64> = lines.iter().copied().collect();
+        assert!(set.len() as u64 > region_lines * 9 / 10);
+    }
+
+    #[test]
+    fn chase_pattern_covers_region_without_sequentiality() {
+        let lines = drive(PatternKind::Chase { region_kb: 16 }, 256);
+        // 16 KB = 256 lines; the LCG cycle visits each exactly once.
+        let set: HashSet<u64> = lines.iter().copied().collect();
+        assert_eq!(set.len(), 256);
+        // Mostly non-sequential steps.
+        let sequential = lines.windows(2).filter(|w| w[1] == w[0] + 1).count();
+        assert!(sequential < 16, "{sequential} sequential steps");
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let spec = PatternSpec::new(PatternKind::Scan { region_kb: 1024 }, 1, 0.3);
+        let mut st = PatternState::new(&spec, 0);
+        let mut rng = SplitMix64::new(2);
+        let writes = (0..10_000)
+            .filter(|_| st.next_access(&mut rng).kind.is_write())
+            .count();
+        assert!((writes as f64 - 3000.0).abs() < 300.0, "writes {writes}");
+    }
+
+    #[test]
+    #[should_panic(expected = "weight must be positive")]
+    fn zero_weight_rejected() {
+        PatternSpec::new(PatternKind::Scan { region_kb: 1 }, 0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn bad_write_fraction_rejected() {
+        PatternSpec::new(PatternKind::Scan { region_kb: 1 }, 1, 1.5);
+    }
+}

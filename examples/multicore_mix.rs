@@ -1,0 +1,70 @@
+//! Two-core multiprogrammed mix on a shared 2 MB L3 (the paper's
+//! Figure 16 scenario) — compare the baseline hierarchy with SLIP+ABP.
+//!
+//! ```sh
+//! cargo run --release --example multicore_mix [bench_a] [bench_b] [accesses]
+//! ```
+
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::multicore::run_mix;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let a = args.first().cloned().unwrap_or_else(|| "soplex".into());
+    let b = args.get(1).cloned().unwrap_or_else(|| "mcf".into());
+    let len: u64 = args
+        .get(2)
+        .map(|s| s.parse().expect("accesses must be a number"))
+        .unwrap_or(1_000_000);
+
+    let spec_a = workloads::workload(&a).expect("known benchmark");
+    let spec_b = workloads::workload(&b).expect("known benchmark");
+
+    println!("mix {a}+{b}, {len} accesses per core, shared 2 MB L3\n");
+    let base = run_mix(
+        SystemConfig::paper_45nm(PolicyKind::Baseline),
+        &spec_a,
+        &spec_b,
+        len,
+    );
+    let slip = run_mix(
+        SystemConfig::paper_45nm(PolicyKind::SlipAbp),
+        &spec_a,
+        &spec_b,
+        len,
+    );
+
+    println!("                 baseline     SLIP+ABP");
+    println!(
+        "L2 energy       {:>10}   {:>10}",
+        format!("{}", base.l2_energy),
+        format!("{}", slip.l2_energy)
+    );
+    println!(
+        "L3 energy       {:>10}   {:>10}",
+        format!("{}", base.l3_energy),
+        format!("{}", slip.l3_energy)
+    );
+    println!(
+        "DRAM transfers  {:>10}   {:>10}",
+        base.dram_demand_traffic, slip.dram_total_traffic
+    );
+    println!(
+        "L3 hit rate     {:>9.1}%   {:>9.1}%",
+        base.l3_stats.demand_hit_rate() * 100.0,
+        slip.l3_stats.demand_hit_rate() * 100.0
+    );
+    println!();
+    println!(
+        "L3 energy saving:    {:.1}%   (paper Fig. 16 average: 47%)",
+        (1.0 - slip.l3_energy / base.l3_energy) * 100.0
+    );
+    println!(
+        "L2+L3 energy saving: {:.1}%",
+        (1.0 - slip.l2_plus_l3_energy() / base.l2_plus_l3_energy()) * 100.0
+    );
+    println!(
+        "DRAM traffic change: {:+.1}%   (paper: -5.5%)",
+        (slip.dram_total_traffic as f64 / base.dram_demand_traffic as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,101 @@
+//! Inspect which SLIPs the EOU converges to for a workload: per-level
+//! histograms of stable-page policy codes and insertion-class mixes.
+//!
+//! ```sh
+//! cargo run --release --example policy_inspector [workload] [accesses] [--no-abp]
+//! ```
+
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::SingleCoreSystem;
+use slip_core::{PageState, Slip};
+use std::collections::BTreeMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().cloned().unwrap_or_else(|| "soplex".into());
+    let len: u64 = args
+        .get(1)
+        .map(|s| s.parse().expect("accesses"))
+        .unwrap_or(1_000_000);
+    let policy = if args.iter().any(|a| a == "--no-abp") {
+        PolicyKind::Slip
+    } else if args.iter().any(|a| a == "--baseline") {
+        PolicyKind::Baseline
+    } else {
+        PolicyKind::SlipAbp
+    };
+
+    let spec = workloads::workload(&name).expect("known workload");
+    let config = SystemConfig::paper_45nm(policy);
+    let seed = config.seed;
+    let mut system = SingleCoreSystem::new(config);
+    system.run(spec.trace(len, seed));
+
+    println!("workload {name}, policy {policy}, {len} accesses");
+    if let Some(mmu) = system.mmu() {
+        let mut l2_hist: BTreeMap<String, usize> = BTreeMap::new();
+        let mut l3_hist: BTreeMap<String, usize> = BTreeMap::new();
+        let mut stable = 0usize;
+        let mut sampling = 0usize;
+        for (_, entry) in mmu.page_table.iter() {
+            match entry.state {
+                PageState::Stable => {
+                    stable += 1;
+                    let s2 = Slip::from_code(3, entry.slips[0]).unwrap();
+                    let s3 = Slip::from_code(3, entry.slips[1]).unwrap();
+                    *l2_hist.entry(s2.to_string()).or_default() += 1;
+                    *l3_hist.entry(s3.to_string()).or_default() += 1;
+                }
+                PageState::Sampling => sampling += 1,
+            }
+        }
+        println!("pages: {stable} stable, {sampling} sampling");
+        println!("\nL2 SLIPs of stable pages:");
+        for (slip, n) in &l2_hist {
+            println!("  {slip:<24} {n}");
+        }
+        println!("\nL3 SLIPs of stable pages:");
+        for (slip, n) in &l3_hist {
+            println!("  {slip:<24} {n}");
+        }
+    }
+    let r = system.finish(name);
+    let f2 = r.l2_stats.insertion_class_fractions();
+    let f3 = r.l3_stats.insertion_class_fractions();
+    println!("\ninsertion classes (ABP/partial/default/other):");
+    println!(
+        "  L2: {:.1}% / {:.1}% / {:.1}% / {:.1}%",
+        f2[0] * 100.0,
+        f2[1] * 100.0,
+        f2[2] * 100.0,
+        f2[3] * 100.0
+    );
+    println!(
+        "  L3: {:.1}% / {:.1}% / {:.1}% / {:.1}%",
+        f3[0] * 100.0,
+        f3[1] * 100.0,
+        f3[2] * 100.0,
+        f3[3] * 100.0
+    );
+    println!("\nsublevel hit fractions:");
+    println!("  L2: {:?}", r.l2_stats.sublevel_hit_fractions());
+    println!("  L3: {:?}", r.l3_stats.sublevel_hit_fractions());
+    println!("\nL2 energy: {}", r.l2_energy);
+    println!("L3 energy: {}", r.l3_energy);
+    println!(
+        "L2 stats: accesses {} hits {} insertions {} movements {} writebacks {}",
+        r.l2_stats.demand_accesses,
+        r.l2_stats.demand_hits,
+        r.l2_stats.insertions,
+        r.l2_stats.movements,
+        r.l2_stats.writebacks
+    );
+    println!(
+        "L3 stats: accesses {} hits {} insertions {} movements {} writebacks {}",
+        r.l3_stats.demand_accesses,
+        r.l3_stats.demand_hits,
+        r.l3_stats.insertions,
+        r.l3_stats.movements,
+        r.l3_stats.writebacks
+    );
+}

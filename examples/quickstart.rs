@@ -1,0 +1,63 @@
+//! Quickstart: compare all five cache-management policies on one
+//! workload and print the paper's headline metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [workload] [accesses]
+//! ```
+
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::system::run_workload;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "soplex".to_owned());
+    let len: u64 = args
+        .next()
+        .map(|s| s.parse().expect("accesses must be a number"))
+        .unwrap_or(1_000_000);
+
+    let spec = workloads::workload(&name).unwrap_or_else(|| {
+        eprintln!(
+            "unknown workload {name:?}; choose one of {:?}",
+            workloads::BENCHMARK_NAMES
+        );
+        std::process::exit(1);
+    });
+
+    println!("workload {name}, {len} accesses, 45 nm parameters (paper Tables 1-2)\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>9} {:>9} {:>9} {:>10} {:>8}",
+        "policy", "L2 energy", "L3 energy", "L2 sav", "L3 sav", "speedup", "DRAM xfer", "bypass%"
+    );
+
+    let baseline = run_workload(
+        SystemConfig::paper_45nm(PolicyKind::Baseline),
+        &spec,
+        len,
+    );
+
+    for policy in PolicyKind::ALL {
+        let r = if policy == PolicyKind::Baseline {
+            baseline.clone()
+        } else {
+            run_workload(SystemConfig::paper_45nm(policy), &spec, len)
+        };
+        let l2 = r.l2_total_energy();
+        let l3 = r.l3_total_energy();
+        let l2_sav = 1.0 - l2 / baseline.l2_total_energy();
+        let l3_sav = 1.0 - l3 / baseline.l3_total_energy();
+        let speedup = r.speedup_vs(&baseline) - 1.0;
+        let bypass = r.l2_stats.insertion_class_fractions()[0] * 100.0;
+        println!(
+            "{:<10} {:>12} {:>12} {:>8.1}% {:>8.1}% {:>8.2}% {:>10} {:>7.1}%",
+            policy.label(),
+            format!("{}", l2),
+            format!("{}", l3),
+            l2_sav * 100.0,
+            l3_sav * 100.0,
+            speedup * 100.0,
+            r.dram_demand_traffic(),
+            bypass,
+        );
+    }
+}

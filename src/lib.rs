@@ -1,0 +1,42 @@
+//! Facade crate for the SLIP reproduction workspace.
+//!
+//! Reproduction of *SLIP: Reducing Wire Energy in the Memory Hierarchy*
+//! (Das, Aamodt, Dally; ISCA 2015). Depend on this crate to get the
+//! whole stack, or on the member crates individually:
+//!
+//! * [`slip_core`] — the paper's contribution: SLIP policies,
+//!   reuse-distance distributions, the analytical energy model, the
+//!   Energy Optimizer Unit, time-based sampling, way partitioning.
+//! * [`cache_sim`] — the trace-driven, sublevel-aware cache substrate.
+//! * [`energy_model`] — Table 2 parameters, Figure 4 topologies, energy
+//!   accounting.
+//! * [`mem_substrate`] — TLB, page table (PTE-resident SLIPs), DRAM,
+//!   and the Figure 7 MMU.
+//! * [`nuca_baselines`] — NuRAPID and LRU-PEA comparison policies.
+//! * [`workloads`] — synthetic SPEC-CPU2006-like trace generators and
+//!   the `SLIPTRC1` trace-file format.
+//! * [`sim_engine`] — single/dual-core drivers and one experiment
+//!   runner per paper figure.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use slip::sim_engine::config::{PolicyKind, SystemConfig};
+//! use slip::sim_engine::system::run_workload;
+//!
+//! let spec = slip::workloads::workload("soplex").unwrap();
+//! let base = run_workload(SystemConfig::paper_45nm(PolicyKind::Baseline), &spec, 1_000_000);
+//! let abp = run_workload(SystemConfig::paper_45nm(PolicyKind::SlipAbp), &spec, 1_000_000);
+//! println!(
+//!     "L2 energy saving: {:.1}%",
+//!     (1.0 - abp.l2_total_energy() / base.l2_total_energy()) * 100.0
+//! );
+//! ```
+
+pub use cache_sim;
+pub use energy_model;
+pub use mem_substrate;
+pub use nuca_baselines;
+pub use sim_engine;
+pub use slip_core;
+pub use workloads;

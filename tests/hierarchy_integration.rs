@@ -1,0 +1,184 @@
+//! Cross-crate integration tests: the full hierarchy driven end-to-end
+//! under every policy, checking conservation laws and cross-policy
+//! invariants that individual crates cannot see.
+
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::system::run_workload;
+use sim_engine::SimResult;
+
+const ACCESSES: u64 = 120_000;
+
+fn run(policy: PolicyKind, bench: &str) -> SimResult {
+    let spec = workloads::workload(bench).expect("known benchmark");
+    run_workload(SystemConfig::paper_45nm(policy), &spec, ACCESSES)
+}
+
+#[test]
+fn accounting_identities_hold_for_every_policy() {
+    for policy in PolicyKind::ALL {
+        let r = run(policy, "gcc");
+        // Hits + misses = accesses, per level and class.
+        assert_eq!(
+            r.l2_stats.demand_hits + r.l2_stats.demand_misses,
+            r.l2_stats.demand_accesses,
+            "{policy}"
+        );
+        assert_eq!(
+            r.l3_stats.demand_hits + r.l3_stats.demand_misses,
+            r.l3_stats.demand_accesses,
+            "{policy}"
+        );
+        assert_eq!(
+            r.l2_stats.metadata_hits + r.l2_stats.metadata_misses,
+            r.l2_stats.metadata_accesses,
+            "{policy}"
+        );
+        // Sublevel hits sum to total hits (demand + metadata).
+        let sub: u64 = r.l2_stats.hits_per_sublevel.iter().sum();
+        assert_eq!(
+            sub,
+            r.l2_stats.demand_hits + r.l2_stats.metadata_hits,
+            "{policy}"
+        );
+        // Insertions + bypasses = classified fills.
+        let classified: u64 = r.l2_stats.insertion_class.iter().sum();
+        assert_eq!(
+            classified,
+            r.l2_stats.insertions + r.l2_stats.bypasses,
+            "{policy}"
+        );
+    }
+}
+
+#[test]
+fn demand_streams_are_identical_across_policies() {
+    // Every policy sees exactly the same L1 behavior and the same L2
+    // demand stream (the policies only differ below).
+    let base = run(PolicyKind::Baseline, "soplex");
+    for policy in [
+        PolicyKind::NuRapid,
+        PolicyKind::LruPea,
+        PolicyKind::Slip,
+        PolicyKind::SlipAbp,
+    ] {
+        let r = run(policy, "soplex");
+        assert_eq!(r.l1_stats.demand_accesses, base.l1_stats.demand_accesses);
+        assert_eq!(r.l1_stats.demand_hits, base.l1_stats.demand_hits);
+        assert_eq!(
+            r.l2_stats.demand_accesses, base.l2_stats.demand_accesses,
+            "{policy}"
+        );
+    }
+}
+
+#[test]
+fn l3_demand_accesses_equal_l2_demand_misses() {
+    for policy in PolicyKind::ALL {
+        let r = run(policy, "mcf");
+        assert_eq!(
+            r.l3_stats.demand_accesses, r.l2_stats.demand_misses,
+            "{policy}"
+        );
+    }
+}
+
+#[test]
+fn baseline_has_no_slip_machinery() {
+    let r = run(PolicyKind::Baseline, "gcc");
+    assert!(r.mmu_stats.is_none());
+    assert!(r.eou_energy.is_zero());
+    assert_eq!(r.l2_stats.metadata_accesses, 0);
+    assert_eq!(r.l2_stats.movements, 0);
+    assert_eq!(r.l2_stats.bypasses, 0);
+    assert!(r.l2_energy.overhead_energy().is_zero());
+}
+
+#[test]
+fn slip_abp_saves_l2_energy_on_stream_heavy_workloads() {
+    // Long enough for the streaming pages to stabilize into the ABP
+    // (each page needs ~16 TLB misses).
+    let spec = workloads::workload("lbm").expect("known benchmark");
+    let base = run_workload(
+        SystemConfig::paper_45nm(PolicyKind::Baseline),
+        &spec,
+        600_000,
+    );
+    let slip = run_workload(
+        SystemConfig::paper_45nm(PolicyKind::SlipAbp),
+        &spec,
+        600_000,
+    );
+    assert!(
+        slip.l2_total_energy() < base.l2_total_energy() * 0.9,
+        "SLIP+ABP {} vs baseline {}",
+        slip.l2_total_energy(),
+        base.l2_total_energy()
+    );
+    assert!(slip.l2_stats.bypasses > 0);
+}
+
+#[test]
+fn nuca_policies_cost_energy_on_movement_heavy_workloads() {
+    let base = run(PolicyKind::Baseline, "soplex");
+    for policy in [PolicyKind::NuRapid, PolicyKind::LruPea] {
+        let r = run(policy, "soplex");
+        assert!(
+            r.l2_energy.total() > base.l2_energy.total(),
+            "{policy} should cost more energy than baseline"
+        );
+        assert!(r.l2_stats.movements > 0, "{policy} must move lines");
+    }
+}
+
+#[test]
+fn nuca_promotion_serves_reused_lines_nearer() {
+    // On a hit-rich workload, promotion concentrates reused lines in
+    // the nearest sublevel (the NUCA latency story, paper Figure 15).
+    let spec = workloads::workload("sphinx3").expect("known benchmark");
+    let base = run_workload(
+        SystemConfig::paper_45nm(PolicyKind::Baseline),
+        &spec,
+        400_000,
+    );
+    let nurapid = run_workload(
+        SystemConfig::paper_45nm(PolicyKind::NuRapid),
+        &spec,
+        400_000,
+    );
+    let near = nurapid.l2_stats.sublevel_hit_fractions()[0];
+    let base_near = base.l2_stats.sublevel_hit_fractions()[0];
+    assert!(
+        near > base_near,
+        "NuRAPID near fraction {near} vs baseline {base_near}"
+    );
+}
+
+#[test]
+fn full_system_energy_is_dominated_by_dram_for_memory_bound_runs() {
+    let r = run(PolicyKind::Baseline, "lbm");
+    let dram = r.dram_energy.total();
+    assert!(
+        dram / r.full_system_energy() > 0.5,
+        "DRAM fraction {:.2}",
+        dram / r.full_system_energy()
+    );
+}
+
+#[test]
+fn energy_totals_equal_category_sums() {
+    let r = run(PolicyKind::SlipAbp, "soplex");
+    for account in [&r.l2_energy, &r.l3_energy, &r.dram_energy] {
+        let by_parts: energy_model::Energy = account.iter().map(|(_, e)| e).sum();
+        assert!((by_parts - account.total()).as_pj().abs() < 1e-6);
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run(PolicyKind::SlipAbp, "xalancbmk");
+    let b = run(PolicyKind::SlipAbp, "xalancbmk");
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.l2_stats, b.l2_stats);
+    assert_eq!(a.dram_reads, b.dram_reads);
+    assert_eq!(a.l2_energy, b.l2_energy);
+}
