@@ -1,10 +1,9 @@
-//! Criterion micro-benchmarks for the cache-simulator hot paths: hit
-//! lookups, miss+fill cycles, and the full single-core per-access step.
+//! Micro-benchmarks for the cache-simulator hot paths: hit lookups,
+//! miss+fill cycles, and the full single-core per-access step.
 
 use cache_sim::{
     AccessClass, AccessKind, BaselinePolicy, CacheGeometry, CacheLevel, FillRequest, LineAddr, Lru,
 };
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use energy_model::Energy;
 use sim_engine::config::{PolicyKind, SystemConfig};
 use sim_engine::SingleCoreSystem;
@@ -24,16 +23,15 @@ fn paper_l2() -> CacheLevel {
     )
 }
 
-fn bench_cache_level(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cache_level");
-    group.throughput(Throughput::Elements(1));
+fn main() {
+    println!("cache micro-benchmarks");
 
-    group.bench_function("hit_lookup", |b| {
+    {
         let mut cache = paper_l2();
         let mut policy = BaselinePolicy::new();
         let mut repl = Lru::new();
         cache.fill(FillRequest::new(LineAddr(7)), 0, &mut policy, &mut repl);
-        b.iter(|| {
+        slip_bench::microbench("cache_level/hit_lookup", || {
             black_box(cache.access(
                 LineAddr(7),
                 AccessKind::Read,
@@ -43,14 +41,14 @@ fn bench_cache_level(c: &mut Criterion) {
                 &mut repl,
             ))
         });
-    });
+    }
 
-    group.bench_function("miss_plus_fill", |b| {
+    {
         let mut cache = paper_l2();
         let mut policy = BaselinePolicy::new();
         let mut repl = Lru::new();
         let mut next = 0u64;
-        b.iter(|| {
+        slip_bench::microbench("cache_level/miss_plus_fill", || {
             next += 1;
             let line = LineAddr(next);
             cache.access(
@@ -63,30 +61,15 @@ fn bench_cache_level(c: &mut Criterion) {
             );
             black_box(cache.fill(FillRequest::new(line), 0, &mut policy, &mut repl));
         });
-    });
+    }
 
-    group.finish();
-}
-
-fn bench_full_system(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_system");
     let spec = workloads::workload("gcc").expect("gcc exists");
     for policy in [PolicyKind::Baseline, PolicyKind::SlipAbp] {
-        let label = format!("gcc_10k_accesses_{}", policy.label());
-        group.bench_function(&label, |b| {
-            b.iter(|| {
-                let mut sys = SingleCoreSystem::new(SystemConfig::paper_45nm(policy));
-                sys.run(spec.trace(10_000, 1));
-                black_box(sys.finish("gcc"))
-            });
+        let label = format!("full_system/gcc_10k_accesses_{}", policy.label());
+        slip_bench::microbench(&label, || {
+            let mut sys = SingleCoreSystem::new(SystemConfig::paper_45nm(policy));
+            sys.run(spec.trace(10_000, 1));
+            black_box(sys.finish("gcc"))
         });
     }
-    group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_cache_level, bench_full_system
-}
-criterion_main!(benches);

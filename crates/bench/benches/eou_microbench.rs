@@ -1,8 +1,7 @@
-//! Criterion micro-benchmarks for the Energy Optimizer Unit (paper
-//! Section 5: the synthesized RTL sustains one optimization per cycle
-//! at 2.4 GHz; this measures the software model's throughput).
+//! Micro-benchmarks for the Energy Optimizer Unit (paper Section 5:
+//! the synthesized RTL sustains one optimization per cycle at 2.4 GHz;
+//! this measures the software model's throughput).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use energy_model::TECH_45NM;
 use sim_engine::experiments::hardware::eou_bench_distributions;
 use slip_core::{EnergyOptimizerUnit, LevelModelParams, Slip};
@@ -12,38 +11,25 @@ fn l2_params() -> LevelModelParams {
     LevelModelParams::from_level(&TECH_45NM.l2, TECH_45NM.l3.mean_access())
 }
 
-fn bench_eou(c: &mut Criterion) {
-    let mut group = c.benchmark_group("eou");
+fn main() {
+    println!("EOU micro-benchmarks");
 
-    group.bench_function("build_unit", |b| {
-        let params = l2_params();
-        b.iter(|| EnergyOptimizerUnit::new(black_box(&params)));
+    let params = l2_params();
+    slip_bench::microbench("eou/build_unit", || {
+        EnergyOptimizerUnit::new(black_box(&params))
     });
 
-    group.bench_function("optimize_one_distribution", |b| {
-        let dists = eou_bench_distributions();
-        b.iter_batched(
-            || EnergyOptimizerUnit::new(&l2_params()),
-            |mut eou| {
-                for d in &dists {
-                    black_box(eou.optimize(d));
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    let dists = eou_bench_distributions();
+    slip_bench::microbench("eou/optimize_all_distributions", || {
+        let mut eou = EnergyOptimizerUnit::new(&params);
+        for d in &dists {
+            black_box(eou.optimize(d));
+        }
     });
 
-    group.bench_function("coefficients_all_slips", |b| {
-        let params = l2_params();
-        b.iter(|| {
-            for slip in Slip::enumerate(3) {
-                black_box(slip_core::coefficients(&params, slip));
-            }
-        });
+    slip_bench::microbench("eou/coefficients_all_slips", || {
+        for slip in Slip::enumerate(3) {
+            black_box(slip_core::coefficients(&params, slip));
+        }
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_eou);
-criterion_main!(benches);

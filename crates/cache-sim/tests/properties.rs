@@ -1,20 +1,30 @@
-//! Property-based tests of the cache substrate: replacement-policy
+//! Randomized property tests of the cache substrate: replacement-policy
 //! contracts, demotion-cascade termination, and LRU semantics under
 //! arbitrary access patterns.
+//!
+//! Cases are drawn from seeded [`SplitMix64`] streams so every run is
+//! deterministic without an external property-testing framework.
 
 use cache_sim::policy::{FillRequest, InsertionClass, PlacementPolicy};
+use cache_sim::rng::SplitMix64;
 use cache_sim::{
     AccessClass, AccessKind, CacheGeometry, CacheLevel, Drrip, LineAddr, LineState, Lru,
     ReplacementPolicy, Ship, WayMask,
 };
 use energy_model::Energy;
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
 
 fn geom_2level() -> CacheGeometry {
     CacheGeometry::from_sublevels(
         16,
         &[(4, Energy::from_pj(10.0), 2), (12, Energy::from_pj(40.0), 6)],
     )
+}
+
+fn random_addrs(rng: &mut SplitMix64, space: u64, min: u64, max: u64) -> Vec<LineAddr> {
+    let n = min + rng.next_below(max - min);
+    (0..n).map(|_| LineAddr(rng.next_below(space))).collect()
 }
 
 /// A placement policy that always demotes one sublevel further,
@@ -50,110 +60,114 @@ impl PlacementPolicy for CascadePolicy {
     }
 }
 
-proptest! {
-    /// LRU always evicts the least-recently-touched candidate.
-    #[test]
-    fn lru_contract(seqs in prop::collection::vec(0u64..1_000_000, 4..16)) {
-        let mut set: Vec<LineState> = seqs
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| {
+/// LRU always evicts the least-recently-touched candidate.
+#[test]
+fn lru_contract() {
+    let mut rng = SplitMix64::new(0x114);
+    for _ in 0..CASES {
+        let n = 4 + rng.next_below(12) as usize;
+        let mut set: Vec<LineState> = (0..n)
+            .map(|i| {
                 let mut l = LineState::new(LineAddr(i as u64));
-                l.lru_seq = s;
+                l.lru_seq = rng.next_below(1_000_000);
                 l
             })
             .collect();
-        let n = set.len();
         let mut lru = Lru::new();
         let victim = lru.choose_victim(0, &mut set, WayMask::full(n));
         let min = set.iter().map(|l| l.lru_seq).min().unwrap();
-        prop_assert_eq!(set[victim].lru_seq, min);
+        assert_eq!(set[victim].lru_seq, min);
     }
+}
 
-    /// DRRIP and SHiP victims always come from the candidate mask.
-    #[test]
-    fn rrip_victims_stay_in_mask(
-        rrpvs in prop::collection::vec(0u8..4, 8),
-        mask_bits in 1u32..255,
-    ) {
-        let mut set: Vec<LineState> = rrpvs
-            .iter()
-            .enumerate()
-            .map(|(i, &r)| {
+/// DRRIP and SHiP victims always come from the candidate mask.
+#[test]
+fn rrip_victims_stay_in_mask() {
+    let mut rng = SplitMix64::new(0x221);
+    for _ in 0..CASES {
+        let mut set: Vec<LineState> = (0..8)
+            .map(|i| {
                 let mut l = LineState::new(LineAddr(i as u64));
-                l.rrpv = r;
+                l.rrpv = rng.next_below(4) as u8;
                 l
             })
             .collect();
-        let mask = WayMask::from_bits(mask_bits & 0xFF);
-        prop_assume!(!mask.is_empty());
+        let mask = WayMask::from_bits(1 + rng.next_below(254) as u32);
+        assert!(!mask.is_empty());
         let mut drrip = Drrip::new(7);
         let v = drrip.choose_victim(0, &mut set, mask);
-        prop_assert!(mask.contains(v));
+        assert!(mask.contains(v));
         let mut set2 = set.clone();
         let mut ship = Ship::new();
         let v = ship.choose_victim(0, &mut set2, mask);
-        prop_assert!(mask.contains(v));
+        assert!(mask.contains(v));
     }
+}
 
-    /// Demotion cascades always terminate and conserve lines: the
-    /// number of resident lines only grows by successful insertions.
-    #[test]
-    fn cascades_terminate_and_conserve_lines(
-        addrs in prop::collection::vec(0u64..4096, 1..400),
-    ) {
+/// Demotion cascades always terminate and conserve lines: the number
+/// of resident lines only grows by successful insertions.
+#[test]
+fn cascades_terminate_and_conserve_lines() {
+    let mut rng = SplitMix64::new(0x332);
+    for _ in 0..32 {
+        let addrs = random_addrs(&mut rng, 4096, 1, 400);
         let mut cache = CacheLevel::new("c", geom_2level());
         let mut policy = CascadePolicy;
         let mut repl = Lru::new();
         let mut inserted = 0u64;
         let mut departed = 0u64;
-        for (i, &a) in addrs.iter().enumerate() {
-            let line = LineAddr(a);
+        for (i, &line) in addrs.iter().enumerate() {
             let hit = cache
                 .access(line, AccessKind::Read, AccessClass::Demand, i as u64, &mut policy, &mut repl)
                 .is_hit();
             if !hit {
                 let out = cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
-                prop_assert!(!out.bypassed);
+                assert!(!out.bypassed);
                 inserted += 1;
                 departed += out.evicted().count() as u64;
             }
         }
-        prop_assert_eq!(cache.resident_lines() as u64, inserted - departed);
+        assert_eq!(cache.resident_lines() as u64, inserted - departed);
         // Demotions were exercised whenever lines left the level.
         if departed > 0 {
-            prop_assert!(cache.stats.movements > 0);
+            assert!(cache.stats.movements > 0);
         }
     }
+}
 
-    /// A line is always findable right after its fill, and the way it
-    /// occupies is within the policy's insertion mask.
-    #[test]
-    fn fills_land_in_the_insertion_mask(addrs in prop::collection::vec(0u64..512, 1..200)) {
+/// A line is always findable right after its fill, and the way it
+/// occupies is within the policy's insertion mask.
+#[test]
+fn fills_land_in_the_insertion_mask() {
+    let mut rng = SplitMix64::new(0x443);
+    for _ in 0..32 {
+        let addrs = random_addrs(&mut rng, 512, 1, 200);
         let mut cache = CacheLevel::new("c", geom_2level());
         let mut policy = CascadePolicy;
         let mut repl = Lru::new();
-        for (i, &a) in addrs.iter().enumerate() {
-            let line = LineAddr(a);
+        for (i, &line) in addrs.iter().enumerate() {
             if cache.probe_way(line).is_none() {
                 cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
                 let way = cache.probe_way(line).expect("just filled");
                 // CascadePolicy inserts into sublevel 0 only.
-                prop_assert_eq!(cache.geometry().sublevel(way), 0);
+                assert_eq!(cache.geometry().sublevel(way), 0);
             }
         }
     }
+}
 
-    /// Energy accounting is monotone: more accesses never reduce any
-    /// category.
-    #[test]
-    fn energy_is_monotone(addrs in prop::collection::vec(0u64..2048, 2..100)) {
+/// Energy accounting is monotone: more accesses never reduce any
+/// category.
+#[test]
+fn energy_is_monotone() {
+    let mut rng = SplitMix64::new(0x554);
+    for _ in 0..32 {
+        let addrs = random_addrs(&mut rng, 2048, 2, 100);
         let mut cache = CacheLevel::new("c", geom_2level());
         let mut policy = CascadePolicy;
         let mut repl = Lru::new();
         let mut prev = Energy::ZERO;
-        for (i, &a) in addrs.iter().enumerate() {
-            let line = LineAddr(a);
+        for (i, &line) in addrs.iter().enumerate() {
             let hit = cache
                 .access(line, AccessKind::Read, AccessClass::Demand, i as u64, &mut policy, &mut repl)
                 .is_hit();
@@ -161,7 +175,7 @@ proptest! {
                 cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
             }
             let total = cache.energy.total();
-            prop_assert!(total >= prev);
+            assert!(total >= prev);
             prev = total;
         }
     }

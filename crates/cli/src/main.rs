@@ -4,6 +4,7 @@
 //! slip list                                  the built-in workloads
 //! slip run <workload|file.trc> [options]     one simulation, full metrics
 //! slip compare <workload> [options]          all five policies side by side
+//! slip sweep [workload ...] [options]        benchmark x policy grid, parallel
 //! slip mix <bench_a> <bench_b> [options]     two cores, shared L3
 //! slip record <workload> <out.trc> [options] dump a synthetic trace
 //!
@@ -14,13 +15,20 @@
 //!   --replacement <lru|drrip|ship>                      (default lru)
 //!   --inclusive                                         model an inclusive LLC
 //!   --csv <path>                                        also write metrics as CSV
+//!   --jobs <N>          sweep/compare workers           (default SLIP_JOBS or all cores)
+//!   --journal <path>    JSONL run journal; a re-run with the same
+//!                       options resumes, skipping completed cells
+//!                                                       (default SLIP_JOURNAL)
 //! ```
 
 use sim_engine::config::{PolicyKind, ReplacementKind, SystemConfig};
+use sim_engine::experiments::{SuiteOptions, SuiteResults};
 use sim_engine::multicore::run_mix;
+use sim_engine::report::{pct, Table};
 use sim_engine::system::run_workload;
-use sim_engine::{SimResult, SingleCoreSystem};
+use sim_engine::{SimResult, SingleCoreSystem, SweepConfig};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -41,7 +49,8 @@ usage:
   slip list
   slip run <workload|file.trc> [--policy P] [--accesses N] [--seed S]
            [--replacement R] [--inclusive] [--csv out.csv]
-  slip compare <workload> [--accesses N] [--seed S]
+  slip compare <workload> [--accesses N] [--seed S] [--jobs N]
+  slip sweep [workload ...] [--accesses N] [--jobs N] [--journal run.jsonl]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]";
 
@@ -50,6 +59,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
@@ -66,6 +76,8 @@ struct Options {
     seed: u64,
     inclusive: bool,
     csv: Option<String>,
+    jobs: usize,
+    journal: Option<PathBuf>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -77,6 +89,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 0x511b,
         inclusive: false,
         csv: None,
+        jobs: sim_engine::env::jobs(),
+        journal: sim_engine::env::journal(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -87,14 +101,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         };
         match a.as_str() {
             "--policy" => {
-                o.policy = match value("--policy")?.as_str() {
-                    "baseline" => PolicyKind::Baseline,
-                    "nurapid" => PolicyKind::NuRapid,
-                    "lru-pea" => PolicyKind::LruPea,
-                    "slip" => PolicyKind::Slip,
-                    "slip-abp" => PolicyKind::SlipAbp,
-                    other => return Err(format!("unknown policy {other:?}")),
-                }
+                let v = value("--policy")?;
+                o.policy = PolicyKind::parse(&v)
+                    .ok_or_else(|| format!("unknown policy {v:?}"))?;
             }
             "--replacement" => {
                 o.replacement = match value("--replacement")?.as_str() {
@@ -119,6 +128,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             }
             "--inclusive" => o.inclusive = true,
             "--csv" => o.csv = Some(value("--csv")?),
+            "--jobs" => {
+                o.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--journal" => o.journal = Some(PathBuf::from(value("--journal")?)),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option {other:?}"))
             }
@@ -257,27 +272,80 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         "{:<10} {:>12} {:>12} {:>9} {:>9} {:>9} {:>11}",
         "policy", "L2 energy", "L3 energy", "L2 sav", "L3 sav", "speedup", "DRAM xfers"
     );
-    let mut cfg = config_from(&o);
-    cfg.policy = PolicyKind::Baseline;
-    let baseline = run_workload(cfg, &spec, o.accesses);
-    for policy in PolicyKind::ALL {
-        let r = if policy == PolicyKind::Baseline {
-            baseline.clone()
-        } else {
-            let mut cfg = config_from(&o);
-            cfg.policy = policy;
-            run_workload(cfg, &spec, o.accesses)
-        };
+    // One independently-seeded run per policy, drained by the worker
+    // pool; PolicyKind::ALL[0] is the baseline.
+    let results = sweep_runner::run_indexed(PolicyKind::ALL.len(), o.jobs, |i| {
+        let mut cfg = config_from(&o);
+        cfg.policy = PolicyKind::ALL[i];
+        run_workload(cfg, &spec, o.accesses)
+    });
+    let baseline = &results[0];
+    for r in &results {
         println!(
             "{:<10} {:>12} {:>12} {:>8.1}% {:>8.1}% {:>8.2}% {:>11}",
-            policy.label(),
+            r.policy.label(),
             format!("{}", r.l2_total_energy()),
             format!("{}", r.l3_total_energy()),
             (1.0 - r.l2_total_energy() / baseline.l2_total_energy()) * 100.0,
             (1.0 - r.l3_total_energy() / baseline.l3_total_energy()) * 100.0,
-            (r.speedup_vs(&baseline) - 1.0) * 100.0,
+            (r.speedup_vs(baseline) - 1.0) * 100.0,
             r.dram_total_traffic(),
         );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let o = parse_options(args)?;
+    let benchmarks: Vec<&'static str> = if o.positional.is_empty() {
+        workloads::BENCHMARK_NAMES.to_vec()
+    } else {
+        o.positional
+            .iter()
+            .map(|n| {
+                workloads::BENCHMARK_NAMES
+                    .iter()
+                    .copied()
+                    .find(|b| b == n)
+                    .ok_or_else(|| format!("unknown workload {n:?} (try `slip list`)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
+    let options = SuiteOptions::paper_full()
+        .with_benchmarks(&benchmarks)
+        .with_accesses(o.accesses);
+    let sweep = SweepConfig {
+        jobs: o.jobs,
+        journal: o.journal.clone(),
+        quiet: false,
+    };
+    let suite = SuiteResults::run_with(options, &sweep).map_err(|e| format!("journal: {e}"))?;
+    let mut t = Table::new(
+        format!(
+            "energy savings vs baseline ({} accesses/benchmark, {} jobs)",
+            o.accesses, o.jobs
+        ),
+        &["benchmark", "SLIP L2", "SLIP L3", "SLIP+ABP L2", "SLIP+ABP L3"],
+    );
+    for &bench in suite.benchmarks() {
+        t.row(vec![
+            bench.to_owned(),
+            pct(suite.l2_saving(bench, PolicyKind::Slip)),
+            pct(suite.l3_saving(bench, PolicyKind::Slip)),
+            pct(suite.l2_saving(bench, PolicyKind::SlipAbp)),
+            pct(suite.l3_saving(bench, PolicyKind::SlipAbp)),
+        ]);
+    }
+    t.row(vec![
+        "mean".to_owned(),
+        pct(suite.mean_l2_saving(PolicyKind::Slip)),
+        pct(suite.mean_l3_saving(PolicyKind::Slip)),
+        pct(suite.mean_l2_saving(PolicyKind::SlipAbp)),
+        pct(suite.mean_l3_saving(PolicyKind::SlipAbp)),
+    ]);
+    print!("{}", t.render());
+    if let Some(j) = &o.journal {
+        println!("journal: {}", j.display());
     }
     Ok(())
 }
@@ -347,6 +415,7 @@ mod tests {
         assert_eq!(o.accesses, 1_000_000);
         assert!(!o.inclusive);
         assert!(o.csv.is_none());
+        assert!(o.jobs >= 1);
     }
 
     #[test]
@@ -364,6 +433,10 @@ mod tests {
             "--inclusive",
             "--csv",
             "out.csv",
+            "--jobs",
+            "3",
+            "--journal",
+            "run.jsonl",
         ]))
         .unwrap();
         assert_eq!(o.policy, PolicyKind::NuRapid);
@@ -372,6 +445,16 @@ mod tests {
         assert_eq!(o.replacement, ReplacementKind::Drrip);
         assert!(o.inclusive);
         assert_eq!(o.csv.as_deref(), Some("out.csv"));
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.journal.as_deref(), Some(std::path::Path::new("run.jsonl")));
+    }
+
+    #[test]
+    fn policy_accepts_report_labels_too() {
+        let o = parse_options(&s(&["--policy", "SLIP+ABP"])).unwrap();
+        assert_eq!(o.policy, PolicyKind::SlipAbp);
+        let o = parse_options(&s(&["--policy", "LRU-PEA"])).unwrap();
+        assert_eq!(o.policy, PolicyKind::LruPea);
     }
 
     #[test]
@@ -380,12 +463,19 @@ mod tests {
         assert!(parse_options(&s(&["--policy", "magic"])).is_err());
         assert!(parse_options(&s(&["--accesses", "many"])).is_err());
         assert!(parse_options(&s(&["--csv"])).is_err());
+        assert!(parse_options(&s(&["--jobs", "few"])).is_err());
+        assert!(parse_options(&s(&["--journal"])).is_err());
     }
 
     #[test]
     fn dispatch_rejects_unknown_command() {
         assert!(dispatch(&s(&["frobnicate"])).is_err());
         assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_unknown_benchmarks() {
+        assert!(cmd_sweep(&s(&["not-a-bench", "--accesses", "1000"])).is_err());
     }
 
     #[test]

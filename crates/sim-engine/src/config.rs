@@ -44,6 +44,20 @@ impl PolicyKind {
     pub fn is_slip(self) -> bool {
         matches!(self, PolicyKind::Slip | PolicyKind::SlipAbp)
     }
+
+    /// Parses a policy name, accepting both the report labels
+    /// (`SLIP+ABP`) and the CLI spellings (`slip-abp`),
+    /// case-insensitively.
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "baseline" => Some(PolicyKind::Baseline),
+            "nurapid" => Some(PolicyKind::NuRapid),
+            "lru-pea" | "lrupea" => Some(PolicyKind::LruPea),
+            "slip" => Some(PolicyKind::Slip),
+            "slip+abp" | "slip-abp" | "slipabp" => Some(PolicyKind::SlipAbp),
+            _ => None,
+        }
+    }
 }
 
 impl core::fmt::Display for PolicyKind {
@@ -354,6 +368,17 @@ mod tests {
         assert_eq!(c.rd_block_shift, 12);
         assert!(!c.inclusive_llc);
         assert_eq!(c.eou_objective, slip_core::EouObjective::InsertionAware);
+    }
+
+    #[test]
+    fn policy_parse_accepts_labels_and_cli_names() {
+        for p in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(p.label()), Some(p));
+        }
+        assert_eq!(PolicyKind::parse("slip-abp"), Some(PolicyKind::SlipAbp));
+        assert_eq!(PolicyKind::parse("LRU-PEA"), Some(PolicyKind::LruPea));
+        assert_eq!(PolicyKind::parse("NuRAPID"), Some(PolicyKind::NuRapid));
+        assert_eq!(PolicyKind::parse("nope"), None);
     }
 
     #[test]

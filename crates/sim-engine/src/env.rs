@@ -1,0 +1,70 @@
+//! Typed parsing of the `SLIP_*` environment variables.
+//!
+//! Every knob the suite, benches, and CLI read from the environment
+//! goes through here, so defaults and parse behavior (trimmed input,
+//! garbage falls back to the default) are defined exactly once:
+//!
+//! | variable        | meaning                              | default |
+//! |-----------------|--------------------------------------|---------|
+//! | `SLIP_ACCESSES` | measured accesses per benchmark      | 2,000,000 |
+//! | `SLIP_WARMUP`   | unmeasured warmup accesses           | 0 |
+//! | `SLIP_JOBS`     | sweep worker count                   | available parallelism |
+//! | `SLIP_JOURNAL`  | run-journal path (enables resume)    | unset (off) |
+
+use std::path::PathBuf;
+use std::str::FromStr;
+
+/// Default trace length per benchmark.
+pub const DEFAULT_ACCESSES: u64 = 2_000_000;
+
+/// Reads and parses one environment variable; unset, empty, or
+/// unparseable values yield `None`.
+pub fn parse_var<T: FromStr>(name: &str) -> Option<T> {
+    std::env::var(name).ok().and_then(|s| s.trim().parse().ok())
+}
+
+/// Measured accesses per benchmark (`SLIP_ACCESSES`).
+pub fn accesses() -> u64 {
+    parse_var("SLIP_ACCESSES").unwrap_or(DEFAULT_ACCESSES)
+}
+
+/// Unmeasured warmup accesses (`SLIP_WARMUP`).
+pub fn warmup() -> u64 {
+    parse_var("SLIP_WARMUP").unwrap_or(0)
+}
+
+/// Sweep worker count (`SLIP_JOBS`), defaulting to the host's
+/// available parallelism.
+pub fn jobs() -> usize {
+    parse_var("SLIP_JOBS").unwrap_or_else(sweep_runner::available_jobs)
+}
+
+/// Run-journal path (`SLIP_JOURNAL`); unset means journaling off.
+pub fn journal() -> Option<PathBuf> {
+    std::env::var_os("SLIP_JOURNAL")
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane_without_env() {
+        // These read live env vars, so only check invariants that hold
+        // for any value.
+        assert!(accesses() >= 1);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_var_trims_and_rejects_garbage() {
+        std::env::set_var("SLIP_TEST_PARSE_VAR", " 42 ");
+        assert_eq!(parse_var::<u64>("SLIP_TEST_PARSE_VAR"), Some(42));
+        std::env::set_var("SLIP_TEST_PARSE_VAR", "not-a-number");
+        assert_eq!(parse_var::<u64>("SLIP_TEST_PARSE_VAR"), None);
+        std::env::remove_var("SLIP_TEST_PARSE_VAR");
+        assert_eq!(parse_var::<u64>("SLIP_TEST_PARSE_VAR"), None);
+    }
+}

@@ -1,6 +1,12 @@
 //! Figure 16: two-core multiprogrammed mixes with a shared L3.
+//!
+//! Both drivers fan their (mix, configuration) cells out over the
+//! `sweep-runner` worker pool (`SLIP_JOBS` workers); each cell seeds
+//! its own [`SystemConfig`], so results are identical at any worker
+//! count.
 
 use crate::config::{PolicyKind, SystemConfig};
+use crate::env;
 use crate::multicore::{run_mix, MulticoreResult};
 use crate::report::{mean, pct, Table};
 
@@ -28,22 +34,32 @@ pub fn fig16(accesses_per_core: u64) -> Vec<Fig16Row> {
 
 /// Runs Figure 16 over a custom mix list.
 pub fn fig16_with_mixes(accesses_per_core: u64, mixes: &[(&str, &str)]) -> Vec<Fig16Row> {
-    let mut rows = Vec::new();
-    for &(a, b) in mixes {
-        let spec_a = workloads::workload(a).expect("known benchmark");
-        let spec_b = workloads::workload(b).expect("known benchmark");
-        let run = |policy: PolicyKind| -> MulticoreResult {
+    const POLICIES: [PolicyKind; 4] = [
+        PolicyKind::Baseline,
+        PolicyKind::SlipAbp,
+        PolicyKind::NuRapid,
+        PolicyKind::LruPea,
+    ];
+    let results = sweep_runner::run_indexed(
+        mixes.len() * POLICIES.len(),
+        env::jobs(),
+        |i| -> MulticoreResult {
+            let (a, b) = mixes[i / POLICIES.len()];
+            let spec_a = workloads::workload(a).expect("known benchmark");
+            let spec_b = workloads::workload(b).expect("known benchmark");
             run_mix(
-                SystemConfig::paper_45nm(policy),
+                SystemConfig::paper_45nm(POLICIES[i % POLICIES.len()]),
                 &spec_a,
                 &spec_b,
                 accesses_per_core,
             )
+        },
+    );
+    let mut rows = Vec::new();
+    for (&(a, b), cell) in mixes.iter().zip(results.chunks_exact(POLICIES.len())) {
+        let [base, slip, nurapid, lru_pea] = cell else {
+            unreachable!("chunks_exact yields POLICIES.len() results")
         };
-        let base = run(PolicyKind::Baseline);
-        let slip = run(PolicyKind::SlipAbp);
-        let nurapid = run(PolicyKind::NuRapid);
-        let lru_pea = run(PolicyKind::LruPea);
         rows.push(Fig16Row {
             mix: format!("{a}+{b}"),
             l3_saving: 1.0 - slip.l3_energy / base.l3_energy,
@@ -111,18 +127,29 @@ pub struct PartitionRow {
 /// "given a partitioning of the cache among the various cores, one can
 /// apply SLIP to minimize the access energy within each partition").
 pub fn partition_comparison(accesses_per_core: u64, mixes: &[(&str, &str)]) -> Vec<PartitionRow> {
-    let mut rows = Vec::new();
-    for &(a, b) in mixes {
-        let spec_a = workloads::workload(a).expect("known benchmark");
-        let spec_b = workloads::workload(b).expect("known benchmark");
-        let run = |policy: PolicyKind, partitioned: bool| -> MulticoreResult {
+    const CONFIGS: [(PolicyKind, bool); 3] = [
+        (PolicyKind::Baseline, false),
+        (PolicyKind::SlipAbp, false),
+        (PolicyKind::SlipAbp, true),
+    ];
+    let results = sweep_runner::run_indexed(
+        mixes.len() * CONFIGS.len(),
+        env::jobs(),
+        |i| -> MulticoreResult {
+            let (a, b) = mixes[i / CONFIGS.len()];
+            let spec_a = workloads::workload(a).expect("known benchmark");
+            let spec_b = workloads::workload(b).expect("known benchmark");
+            let (policy, partitioned) = CONFIGS[i % CONFIGS.len()];
             let mut cfg = SystemConfig::paper_45nm(policy);
             cfg.partitioned_l3 = partitioned;
             run_mix(cfg, &spec_a, &spec_b, accesses_per_core)
+        },
+    );
+    let mut rows = Vec::new();
+    for (&(a, b), cell) in mixes.iter().zip(results.chunks_exact(CONFIGS.len())) {
+        let [base, shared, part] = cell else {
+            unreachable!("chunks_exact yields CONFIGS.len() results")
         };
-        let base = run(PolicyKind::Baseline, false);
-        let shared = run(PolicyKind::SlipAbp, false);
-        let part = run(PolicyKind::SlipAbp, true);
         rows.push(PartitionRow {
             mix: format!("{a}+{b}"),
             shared_saving: 1.0 - shared.l3_energy / base.l3_energy,

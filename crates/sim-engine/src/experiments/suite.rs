@@ -1,22 +1,30 @@
 //! Shared experiment driver: runs a set of benchmarks under a set of
 //! policies once and exposes the results to the per-figure formatters.
+//!
+//! Cells execute on the [`sweep_runner`] engine: one job per
+//! `(benchmark, policy)` cell, drained by a worker pool
+//! ([`SweepConfig::jobs`]), optionally journaled for checkpoint/resume
+//! ([`SweepConfig::journal`]). Each cell builds its own seeded
+//! [`SystemConfig`], so results are independent of execution order and
+//! a parallel sweep is bit-identical to a serial one.
 
+use crate::codec;
 use crate::config::{PolicyKind, SystemConfig};
+use crate::env;
 use crate::result::SimResult;
 use crate::system::run_workload_with_warmup;
 use energy_model::TechnologyParams;
 use std::collections::HashMap;
+use std::path::PathBuf;
+use sweep_runner::SweepOptions;
 
 /// Default trace length per benchmark (overridable with the
 /// `SLIP_ACCESSES` environment variable).
-pub const DEFAULT_ACCESSES: u64 = 2_000_000;
+pub const DEFAULT_ACCESSES: u64 = env::DEFAULT_ACCESSES;
 
 /// Reads the trace length from `SLIP_ACCESSES` or returns the default.
 pub fn accesses_from_env() -> u64 {
-    std::env::var("SLIP_ACCESSES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_ACCESSES)
+    env::accesses()
 }
 
 /// Options for a suite run.
@@ -42,11 +50,8 @@ impl SuiteOptions {
     /// 45 nm.
     pub fn paper_full() -> Self {
         SuiteOptions {
-            accesses: accesses_from_env(),
-            warmup: std::env::var("SLIP_WARMUP")
-                .ok()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(0),
+            accesses: env::accesses(),
+            warmup: env::warmup(),
             benchmarks: workloads::BENCHMARK_NAMES.to_vec(),
             policies: PolicyKind::ALL.to_vec(),
             tech: energy_model::TECH_45NM.clone(),
@@ -93,6 +98,73 @@ impl SuiteOptions {
         self.rd_bin_bits = bits;
         self
     }
+
+    /// Builds the system configuration for one cell of this sweep.
+    pub fn cell_config(&self, policy: PolicyKind) -> SystemConfig {
+        let mut config = SystemConfig::paper_45nm(policy);
+        config.tech = self.tech.clone();
+        config.rd_bin_bits = self.rd_bin_bits;
+        config
+    }
+
+    /// The journal key of one `(benchmark, policy)` cell. Encodes every
+    /// input the result depends on, so stale journal entries can never
+    /// be mistaken for current ones.
+    pub fn cell_key(&self, bench: &str, policy: PolicyKind) -> String {
+        let config = self.cell_config(policy);
+        format!(
+            "{bench}/{}@acc={},warm={},tech={},bits={},seed={:#x}",
+            policy.label(),
+            self.accesses,
+            self.warmup,
+            self.tech.name,
+            self.rd_bin_bits,
+            config.seed,
+        )
+    }
+}
+
+/// How the suite executes (worker count, journaling) — orthogonal to
+/// *what* it runs ([`SuiteOptions`]) and, by construction, to what it
+/// produces.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker count; 1 is fully serial.
+    pub jobs: usize,
+    /// JSONL run-journal path; completed cells found there are restored
+    /// instead of re-run.
+    pub journal: Option<PathBuf>,
+    /// Suppress stderr progress lines.
+    pub quiet: bool,
+}
+
+impl SweepConfig {
+    /// Reads `SLIP_JOBS` / `SLIP_JOURNAL`; progress lines on.
+    pub fn from_env() -> Self {
+        SweepConfig {
+            jobs: env::jobs(),
+            journal: env::journal(),
+            quiet: false,
+        }
+    }
+
+    /// Serial, journal-less, quiet.
+    pub fn serial() -> Self {
+        SweepConfig {
+            jobs: 1,
+            journal: None,
+            quiet: true,
+        }
+    }
+
+    /// `jobs` workers, journal-less, quiet.
+    pub fn with_jobs(jobs: usize) -> Self {
+        SweepConfig {
+            jobs,
+            journal: None,
+            quiet: true,
+        }
+    }
 }
 
 /// Results of a suite run, keyed by `(benchmark, policy)`.
@@ -104,31 +176,78 @@ pub struct SuiteResults {
 }
 
 impl SuiteResults {
-    /// Runs the suite.
+    /// Runs the suite with execution parameters from the environment
+    /// (`SLIP_JOBS`, `SLIP_JOURNAL`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the journal cannot be read or written.
     pub fn run(options: SuiteOptions) -> Self {
-        let mut results = HashMap::new();
-        for &bench in &options.benchmarks {
-            let spec = workloads::workload(bench).expect("known benchmark");
-            for &policy in &options.policies {
-                let mut config = SystemConfig::paper_45nm(policy);
-                config.tech = options.tech.clone();
-                config.rd_bin_bits = options.rd_bin_bits;
-                let r =
-                    run_workload_with_warmup(config, &spec, options.accesses, options.warmup);
-                results.insert((bench.to_owned(), policy), r);
-            }
-        }
-        SuiteResults { options, results }
+        Self::run_with(options, &SweepConfig::from_env()).expect("run journal I/O failed")
+    }
+
+    /// Runs the suite on the given execution configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on journal I/O errors; simulation itself is
+    /// infallible.
+    pub fn run_with(options: SuiteOptions, sweep: &SweepConfig) -> std::io::Result<Self> {
+        let cells: Vec<(&'static str, PolicyKind)> = options
+            .benchmarks
+            .iter()
+            .flat_map(|&b| options.policies.iter().map(move |&p| (b, p)))
+            .collect();
+        let keys: Vec<String> = cells
+            .iter()
+            .map(|&(b, p)| options.cell_key(b, p))
+            .collect();
+        let sweep_options = SweepOptions {
+            jobs: sweep.jobs,
+            journal: sweep.journal.clone(),
+            quiet: sweep.quiet,
+            label: "suite".to_owned(),
+        };
+        let ran = sweep_runner::run_sweep(
+            &keys,
+            &sweep_options,
+            |i| {
+                let (bench, policy) = cells[i];
+                let spec = workloads::workload(bench).expect("known benchmark");
+                run_workload_with_warmup(
+                    options.cell_config(policy),
+                    &spec,
+                    options.accesses,
+                    options.warmup,
+                )
+            },
+            |r, wall| (codec::result_metrics(r, wall), codec::encode_result(r)),
+            codec::decode_result,
+        )?;
+        let results = cells
+            .into_iter()
+            .zip(ran)
+            .map(|((b, p), r)| ((b.to_owned(), p), r))
+            .collect();
+        Ok(SuiteResults { options, results })
+    }
+
+    /// The result of one (benchmark, policy) cell, if it was part of
+    /// the sweep.
+    pub fn try_get(&self, bench: &str, policy: PolicyKind) -> Option<&SimResult> {
+        self.results.get(&(bench.to_owned(), policy))
     }
 
     /// The result of one (benchmark, policy) cell.
     ///
     /// # Panics
     ///
-    /// Panics if that cell was not part of the sweep.
+    /// Panics if that cell was not part of the sweep; use [`try_get`]
+    /// to probe.
+    ///
+    /// [`try_get`]: SuiteResults::try_get
     pub fn get(&self, bench: &str, policy: PolicyKind) -> &SimResult {
-        self.results
-            .get(&(bench.to_owned(), policy))
+        self.try_get(bench, policy)
             .unwrap_or_else(|| panic!("no result for ({bench}, {policy})"))
     }
 
@@ -186,7 +305,7 @@ mod tests {
             .with_policies(&[PolicyKind::SlipAbp])
             .with_accesses(30_000)
             .with_warmup(10_000);
-        let suite = SuiteResults::run(opts);
+        let suite = SuiteResults::run_with(opts, &SweepConfig::serial()).unwrap();
         assert_eq!(suite.benchmarks(), ["gcc"]);
         let base = suite.baseline("gcc");
         assert_eq!(base.accesses, 30_000);
@@ -202,5 +321,35 @@ mod tests {
         let opts = SuiteOptions::paper_full().with_policies(&[PolicyKind::NuRapid]);
         assert!(opts.policies.contains(&PolicyKind::Baseline));
         assert!(opts.policies.contains(&PolicyKind::NuRapid));
+    }
+
+    #[test]
+    fn try_get_probes_without_panicking() {
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_policies(&[PolicyKind::Baseline])
+            .with_accesses(5_000);
+        let suite = SuiteResults::run_with(opts, &SweepConfig::serial()).unwrap();
+        assert!(suite.try_get("gcc", PolicyKind::Baseline).is_some());
+        assert!(suite.try_get("gcc", PolicyKind::SlipAbp).is_none());
+        assert!(suite.try_get("soplex", PolicyKind::Baseline).is_none());
+    }
+
+    #[test]
+    fn cell_keys_fingerprint_all_inputs() {
+        let a = SuiteOptions::paper_full().with_accesses(1000);
+        let b = SuiteOptions::paper_full().with_accesses(2000);
+        let c = SuiteOptions::paper_full().with_accesses(1000).with_bin_bits(6);
+        let k = |o: &SuiteOptions| o.cell_key("gcc", PolicyKind::Slip);
+        assert_ne!(k(&a), k(&b));
+        assert_ne!(k(&a), k(&c));
+        assert_ne!(
+            a.cell_key("gcc", PolicyKind::Slip),
+            a.cell_key("gcc", PolicyKind::SlipAbp)
+        );
+        assert_ne!(
+            a.cell_key("gcc", PolicyKind::Slip),
+            a.cell_key("mcf", PolicyKind::Slip)
+        );
     }
 }

@@ -7,7 +7,12 @@
 //!   MMU attached for SLIP runs.
 //! * [`multicore`] — the two-core shared-L3 driver of Figure 16.
 //! * [`experiments`] — one runner per paper table/figure; each returns
-//!   structured rows and renders the same table the paper prints.
+//!   structured rows and renders the same table the paper prints. The
+//!   shared suite driver executes cells on the `sweep-runner` worker
+//!   pool with an optional JSONL run journal for checkpoint/resume.
+//! * [`codec`] — JSON round-trip codec for [`SimResult`] (the journal
+//!   payload format).
+//! * [`env`] — typed parsing of the `SLIP_*` environment variables.
 //! * [`report`] — plain-text table formatting.
 //!
 //! # Example
@@ -23,7 +28,9 @@
 //! println!("L2 energy saving: {:.1}%", saving * 100.0);
 //! ```
 
+pub mod codec;
 pub mod config;
+pub mod env;
 pub mod experiments;
 pub mod multicore;
 pub mod report;
@@ -31,5 +38,6 @@ pub mod result;
 pub mod system;
 
 pub use config::{PolicyKind, ReplacementKind, SystemConfig};
+pub use experiments::suite::SweepConfig;
 pub use result::SimResult;
 pub use system::{run_workload, SingleCoreSystem};

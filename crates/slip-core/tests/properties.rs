@@ -1,13 +1,18 @@
-//! Property-based tests of the SLIP mechanism's algebra: policy-space
-//! structure, model monotonicity, EOU dominance, and sampling
-//! statistics.
+//! Randomized property tests of the SLIP mechanism's algebra:
+//! policy-space structure, model monotonicity, EOU dominance, and
+//! sampling statistics.
+//!
+//! Cases are drawn from seeded [`SplitMix64`] streams so every run is
+//! deterministic without an external property-testing framework.
 
+use cache_sim::rng::SplitMix64;
 use energy_model::Energy;
-use proptest::prelude::*;
 use slip_core::{
     coefficients, coefficients_paper, slip_energy, EnergyOptimizerUnit, EouObjective,
     LevelModelParams, PageState, RdDistribution, SamplingConfig, Slip, TimeSampler,
 };
+
+const CASES: u64 = 128;
 
 fn l2_params() -> LevelModelParams {
     LevelModelParams {
@@ -21,84 +26,92 @@ fn l2_params() -> LevelModelParams {
     }
 }
 
-proptest! {
-    /// The number of chunks never exceeds the number of used sublevels,
-    /// and chunk count 0 iff the ABP.
-    #[test]
-    fn chunk_structure(sublevels in 1usize..=8, code_raw in 0u16..256) {
-        let code = (code_raw as usize % (1 << sublevels)) as u8;
-        let slip = Slip::from_code(sublevels, code).expect("valid");
-        prop_assert!(slip.num_chunks() <= slip.used_sublevels());
-        prop_assert_eq!(slip.num_chunks() == 0, slip.is_all_bypass());
-        prop_assert_eq!(slip.chunks().len(), slip.num_chunks());
-    }
+/// Draws four bin counts below `bound` from the stream.
+fn random_bins(rng: &mut SplitMix64, bound: u64) -> [u64; 4] {
+    [
+        rng.next_below(bound),
+        rng.next_below(bound),
+        rng.next_below(bound),
+        rng.next_below(bound),
+    ]
+}
 
-    /// Display/notation round-trip: the chunk ends parsed back from the
-    /// chunks() view rebuild the same SLIP.
-    #[test]
-    fn chunks_rebuild_the_slip(sublevels in 1usize..=8, code_raw in 0u16..256) {
-        let code = (code_raw as usize % (1 << sublevels)) as u8;
-        let slip = Slip::from_code(sublevels, code).expect("valid");
-        let ends: Vec<usize> = slip.chunks().iter().map(|c| *c.end()).collect();
-        let back = Slip::from_chunk_ends(sublevels, &ends).expect("valid ends");
-        prop_assert_eq!(back, slip);
+/// The number of chunks never exceeds the number of used sublevels,
+/// and chunk count 0 iff the ABP; chunk ends rebuild the same SLIP.
+#[test]
+fn chunk_structure_and_rebuild() {
+    for sublevels in 1usize..=8 {
+        for code in 0..(1u16 << sublevels) {
+            let slip = Slip::from_code(sublevels, code as u8).expect("valid");
+            assert!(slip.num_chunks() <= slip.used_sublevels());
+            assert_eq!(slip.num_chunks() == 0, slip.is_all_bypass());
+            assert_eq!(slip.chunks().len(), slip.num_chunks());
+            let ends: Vec<usize> = slip.chunks().iter().map(|c| *c.end()).collect();
+            let back = Slip::from_chunk_ends(sublevels, &ends).expect("valid ends");
+            assert_eq!(back, slip);
+        }
     }
+}
 
-    /// Coefficient vectors are nonnegative and the miss bin is the most
-    /// expensive bin for every caching SLIP (it pays the next level).
-    #[test]
-    fn coefficients_shape(code in 0u8..8) {
-        let params = l2_params();
+/// Coefficient vectors are nonnegative and the miss bin is the most
+/// expensive bin for every caching SLIP (it pays the next level).
+#[test]
+fn coefficients_shape() {
+    let params = l2_params();
+    for code in 0u8..8 {
         let slip = Slip::from_code(3, code).expect("valid");
         for alpha in [coefficients(&params, slip), coefficients_paper(&params, slip)] {
-            prop_assert_eq!(alpha.len(), 4);
+            assert_eq!(alpha.len(), 4);
             for a in &alpha {
-                prop_assert!(a.as_pj() >= 0.0);
+                assert!(a.as_pj() >= 0.0);
             }
             if !slip.is_all_bypass() {
                 let miss = alpha.last().unwrap().as_pj();
                 for a in &alpha[..3] {
-                    prop_assert!(miss >= a.as_pj() - 1e-9);
+                    assert!(miss >= a.as_pj() - 1e-9);
                 }
             }
         }
     }
+}
 
-    /// The insertion-aware objective never undercuts the paper-literal
-    /// one (it only adds a nonnegative term).
-    #[test]
-    fn insertion_term_is_nonnegative(
-        code in 0u8..8,
-        raw in prop::array::uniform4(0u32..100),
-    ) {
-        let total: u32 = raw.iter().sum();
-        prop_assume!(total > 0);
-        let probs: Vec<f64> = raw.iter().map(|&c| f64::from(c) / f64::from(total)).collect();
-        let params = l2_params();
-        let slip = Slip::from_code(3, code).expect("valid");
+/// The insertion-aware objective never undercuts the paper-literal one
+/// (it only adds a nonnegative term).
+#[test]
+fn insertion_term_is_nonnegative() {
+    let params = l2_params();
+    let mut rng = SplitMix64::new(0x17E);
+    for _ in 0..CASES {
+        let raw = random_bins(&mut rng, 100);
+        let total: u64 = raw.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let probs: Vec<f64> = raw.iter().map(|&c| c as f64 / total as f64).collect();
+        let slip = Slip::from_code(3, rng.next_below(8) as u8).expect("valid");
         let with: Energy = coefficients(&params, slip)
             .iter().zip(&probs).map(|(&a, &p)| a * p).sum();
         let without: Energy = coefficients_paper(&params, slip)
             .iter().zip(&probs).map(|(&a, &p)| a * p).sum();
-        prop_assert!(with >= without - Energy::from_pj(1e-9));
+        assert!(with >= without - Energy::from_pj(1e-9));
     }
+}
 
-    /// The EOU's choice never loses to the Default SLIP under either
-    /// objective (Default is always a candidate).
-    #[test]
-    fn eou_never_worse_than_default(
-        raw in prop::array::uniform4(0u16..15),
-        paper_literal in any::<bool>(),
-    ) {
-        let params = l2_params();
-        let objective = if paper_literal {
+/// The EOU's choice never loses to the Default SLIP under either
+/// objective (Default is always a candidate).
+#[test]
+fn eou_never_worse_than_default() {
+    let params = l2_params();
+    let mut rng = SplitMix64::new(0xE0D);
+    for case in 0..CASES {
+        let objective = if case % 2 == 0 {
             EouObjective::PaperLiteral
         } else {
             EouObjective::InsertionAware
         };
         let mut eou = EnergyOptimizerUnit::with_objective(&params, objective);
         let mut d = RdDistribution::paper_default();
-        for (bin, &c) in raw.iter().enumerate() {
+        for (bin, &c) in random_bins(&mut rng, 15).iter().enumerate() {
             for _ in 0..c {
                 d.observe(bin);
             }
@@ -106,46 +119,48 @@ proptest! {
         let decision = eou.optimize(&d);
         let def = Slip::default_slip(3).expect("valid");
         let def_e = eou.evaluate(def, &d.probabilities());
-        prop_assert!(decision.estimated_energy <= def_e + Energy::from_pj(1e-9));
+        assert!(decision.estimated_energy <= def_e + Energy::from_pj(1e-9));
     }
+}
 
-    /// Halving preserves the distribution's argmax bin.
-    #[test]
-    fn halving_preserves_dominant_bin(
-        dominant in 0usize..4,
-        others in prop::array::uniform3(0u16..7),
-    ) {
+/// Halving preserves the distribution's argmax bin.
+#[test]
+fn halving_preserves_dominant_bin() {
+    let mut rng = SplitMix64::new(0x4A1F);
+    for _ in 0..CASES {
+        let dominant = rng.next_below(4) as usize;
         let mut d = RdDistribution::paper_default();
         // Give the dominant bin twice the max of the others plus slack.
-        let dom_count = 15u16;
-        let mut k = 0;
+        let dom_count = 15u64;
         for bin in 0..4usize {
             if bin == dominant {
                 continue;
             }
-            for _ in 0..others[k] {
+            let c = rng.next_below(7);
+            for _ in 0..c {
                 d.observe(bin);
             }
-            k += 1;
         }
         for _ in 0..dom_count {
             d.observe(dominant); // forces at least one halving
         }
         let counts = d.counts();
         let max = *counts.iter().max().unwrap();
-        prop_assert_eq!(counts[dominant], max);
+        assert_eq!(counts[dominant], max);
     }
+}
 
-    /// The sampler's long-run sampling fraction tracks the configured
-    /// stationary value for arbitrary (sane) configurations.
-    #[test]
-    fn sampler_tracks_stationary_fraction(
-        n_samp in 2u64..32,
-        n_stab in 32u64..512,
-        seed in 0u64..1000,
-    ) {
-        let config = SamplingConfig { n_samp, n_stab };
-        let mut s = TimeSampler::with_config(seed, config);
+/// The sampler's long-run sampling fraction tracks the configured
+/// stationary value for arbitrary (sane) configurations.
+#[test]
+fn sampler_tracks_stationary_fraction() {
+    let mut rng = SplitMix64::new(0x5A3);
+    for _ in 0..8 {
+        let config = SamplingConfig {
+            n_samp: 2 + rng.next_below(30),
+            n_stab: 32 + rng.next_below(480),
+        };
+        let mut s = TimeSampler::with_config(rng.next_below(1000), config);
         let mut state = PageState::Sampling;
         let mut sampling = 0u64;
         let n = 200_000u64;
@@ -157,19 +172,23 @@ proptest! {
         }
         let f = sampling as f64 / n as f64;
         let expect = config.expected_sampling_fraction();
-        prop_assert!((f - expect).abs() < 0.05, "measured {} expected {}", f, expect);
+        assert!((f - expect).abs() < 0.05, "measured {} expected {}", f, expect);
     }
+}
 
-    /// slip_energy is scale-invariant in the probability vector only up
-    /// to the scale: E(k·p) = k·E(p) (linearity).
-    #[test]
-    fn model_is_linear(code in 0u8..8, k in 0.1f64..10.0) {
-        let params = l2_params();
-        let slip = Slip::from_code(3, code).expect("valid");
+/// slip_energy is scale-invariant in the probability vector only up to
+/// the scale: E(k·p) = k·E(p) (linearity).
+#[test]
+fn model_is_linear() {
+    let params = l2_params();
+    let mut rng = SplitMix64::new(0x11E);
+    for _ in 0..CASES {
+        let slip = Slip::from_code(3, rng.next_below(8) as u8).expect("valid");
+        let k = 0.1 + rng.next_f64() * 9.9;
         let p = [0.4, 0.3, 0.2, 0.1];
         let scaled: Vec<f64> = p.iter().map(|x| x * k).collect();
         let a = slip_energy(&params, slip, &p).as_pj() * k;
         let b = slip_energy(&params, slip, &scaled).as_pj();
-        prop_assert!((a - b).abs() < 1e-9);
+        assert!((a - b).abs() < 1e-9);
     }
 }

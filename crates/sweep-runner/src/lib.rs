@@ -1,0 +1,284 @@
+//! `sweep-runner` — a dependency-free parallel experiment-execution
+//! engine for simulation sweeps.
+//!
+//! The crate knows nothing about caches or energy: a sweep is a list of
+//! *cells*, each identified by a caller-chosen key string and executed
+//! by a caller-supplied closure. The engine contributes:
+//!
+//! * [`pool`] — a `std::thread::scope` worker pool that drains cells
+//!   dynamically but returns results in cell order, so parallel runs
+//!   are bit-identical to serial ones (each cell must be seeded
+//!   independently of execution order — the simulator already is).
+//! * [`journal`] — a JSONL run journal recording per-cell wall time, an
+//!   observability metrics object, and a full result payload.
+//! * Checkpoint/resume — cells whose key is already in the journal are
+//!   decoded from their payload instead of re-run.
+//! * [`progress`] — live per-cell progress lines on stderr.
+//!
+//! # Example
+//!
+//! ```
+//! use sweep_runner::{json::Value, run_sweep, SweepOptions};
+//!
+//! let keys: Vec<String> = (0..8).map(|i| format!("cell-{i}")).collect();
+//! let opts = SweepOptions { jobs: 4, journal: None, quiet: true, label: "demo".into() };
+//! let squares = run_sweep(
+//!     &keys,
+//!     &opts,
+//!     |i| (i as u64) * (i as u64),                 // run one cell
+//!     |&v, _wall| (Value::object(), Value::u64(v)), // (metrics, payload)
+//!     |p| p.as_u64(),                              // payload -> value
+//! ).unwrap();
+//! assert_eq!(squares[3], 9);
+//! ```
+
+pub mod json;
+pub mod journal;
+pub mod pool;
+pub mod progress;
+
+pub use journal::Journal;
+pub use pool::{available_jobs, run_indexed};
+
+use json::Value;
+use progress::Progress;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How a sweep should execute.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker count; 1 means fully serial on the calling thread.
+    pub jobs: usize,
+    /// Journal path for checkpoint/resume; `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Suppress the stderr progress lines.
+    pub quiet: bool,
+    /// Short sweep name shown in progress lines.
+    pub label: String,
+}
+
+impl SweepOptions {
+    /// Serial, journal-less, quiet — the drop-in replacement for a
+    /// plain `for` loop.
+    pub fn serial() -> SweepOptions {
+        SweepOptions {
+            jobs: 1,
+            journal: None,
+            quiet: true,
+            label: "sweep".to_owned(),
+        }
+    }
+
+    /// `jobs` workers, no journal, progress on.
+    pub fn with_jobs(jobs: usize) -> SweepOptions {
+        SweepOptions {
+            jobs,
+            journal: None,
+            quiet: false,
+            label: "sweep".to_owned(),
+        }
+    }
+}
+
+impl Default for SweepOptions {
+    /// All available cores, no journal, progress on.
+    fn default() -> SweepOptions {
+        SweepOptions::with_jobs(available_jobs())
+    }
+}
+
+/// Runs one job per key and returns the results in key order.
+///
+/// * `run(i)` executes cell `i` (the index into `keys`).
+/// * `encode(&T, wall)` produces the journal record: `metrics` is a
+///   small observability object (see [`progress`] for the well-known
+///   keys; `wall` is provided so rates like accesses/sec can be
+///   derived), `payload` must contain everything `decode` needs.
+/// * `decode(&Value) -> Option<T>` rebuilds a result from a journal
+///   payload; returning `None` (schema drift, corrupt line) causes the
+///   cell to be re-run.
+///
+/// Cells whose key is present in the journal are restored, not re-run;
+/// `keys` must therefore encode every input the result depends on.
+///
+/// # Errors
+///
+/// Only journal I/O can fail; the sweep itself propagates panics from
+/// `run` after the worker scope joins.
+pub fn run_sweep<T, Run, Enc, Dec>(
+    keys: &[String],
+    opts: &SweepOptions,
+    run: Run,
+    encode: Enc,
+    decode: Dec,
+) -> std::io::Result<Vec<T>>
+where
+    T: Send,
+    Run: Fn(usize) -> T + Sync,
+    Enc: Fn(&T, Duration) -> (Value, Value) + Sync,
+    Dec: Fn(&Value) -> Option<T>,
+{
+    let journal = match &opts.journal {
+        Some(path) => Some(Journal::open(path)?),
+        None => None,
+    };
+
+    // Restore completed cells; collect the rest as pending indices.
+    let mut resolved: Vec<Option<T>> = keys.iter().map(|_| None).collect();
+    let mut pending: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        let restored = journal
+            .as_ref()
+            .and_then(|j| j.payload(key))
+            .and_then(&decode);
+        match restored {
+            Some(v) => resolved[i] = Some(v),
+            None => pending.push(i),
+        }
+    }
+    let from_journal = keys.len() - pending.len();
+
+    let progress = Progress::new(&opts.label, pending.len(), opts.quiet);
+    let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    let ran = pool::run_indexed(pending.len(), opts.jobs, |j| {
+        let i = pending[j];
+        let started = Instant::now();
+        let value = run(i);
+        let wall = started.elapsed();
+        let (metrics, payload) = encode(&value, wall);
+        if let Some(journal) = &journal {
+            if let Err(e) =
+                journal.record(&keys[i], wall.as_secs_f64() * 1e3, metrics.clone(), payload)
+            {
+                journal_error.lock().expect("error slot poisoned").get_or_insert(e);
+            }
+        }
+        progress.cell_done(&keys[i], wall, &metrics);
+        value
+    });
+    if let Some(e) = journal_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+
+    for (j, value) in ran.into_iter().enumerate() {
+        resolved[pending[j]] = Some(value);
+    }
+    progress.finish(from_journal);
+    Ok(resolved
+        .into_iter()
+        .map(|v| v.expect("every cell resolved"))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("cell-{i}")).collect()
+    }
+
+    fn quiet(jobs: usize) -> SweepOptions {
+        SweepOptions {
+            jobs,
+            journal: None,
+            quiet: true,
+            label: "test".to_owned(),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn codec_u64() -> (
+        impl Fn(&u64, Duration) -> (Value, Value) + Sync,
+        impl Fn(&Value) -> Option<u64>,
+    ) {
+        (
+            |&v: &u64, _: Duration| (Value::object(), Value::u64(v)),
+            |p: &Value| p.as_u64(),
+        )
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let (enc, dec) = codec_u64();
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E3779B9) >> 7;
+        let serial = run_sweep(&keys(20), &quiet(1), f, &enc, &dec).unwrap();
+        let parallel = run_sweep(&keys(20), &quiet(4), f, &enc, &dec).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn resume_skips_completed_cells() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-sweep-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            jobs: 2,
+            journal: Some(path.clone()),
+            quiet: true,
+            label: "test".to_owned(),
+        };
+        let executions = AtomicUsize::new(0);
+        let run = |i: usize| {
+            executions.fetch_add(1, Ordering::Relaxed);
+            i as u64 + 100
+        };
+        let (enc, dec) = codec_u64();
+
+        let first = run_sweep(&keys(6), &opts, run, &enc, &dec).unwrap();
+        assert_eq!(executions.load(Ordering::Relaxed), 6);
+
+        // Same keys again: everything restores from the journal.
+        let second = run_sweep(&keys(6), &opts, run, &enc, &dec).unwrap();
+        assert_eq!(executions.load(Ordering::Relaxed), 6, "no cell re-ran");
+        assert_eq!(first, second);
+
+        // A grown sweep only runs the new cells.
+        let third = run_sweep(&keys(8), &opts, run, &enc, &dec).unwrap();
+        assert_eq!(executions.load(Ordering::Relaxed), 8);
+        assert_eq!(third[..6], first[..]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undecodable_payloads_cause_rerun() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-sweep-badpayload-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            jobs: 1,
+            journal: Some(path.clone()),
+            quiet: true,
+            label: "test".to_owned(),
+        };
+        let (enc, dec) = codec_u64();
+        run_sweep(&keys(2), &opts, |i| i as u64, &enc, &dec).unwrap();
+        // Decoder that rejects everything: cells must re-run, not panic.
+        let ran = AtomicUsize::new(0);
+        let out = run_sweep(
+            &keys(2),
+            &opts,
+            |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i as u64
+            },
+            &enc,
+            |_: &Value| None::<u64>,
+        )
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        assert_eq!(out, vec![0, 1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let (enc, dec) = codec_u64();
+        let out = run_sweep(&[], &quiet(4), |_| 0u64, &enc, &dec).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! A scoped worker pool over an indexed job list.
+//!
+//! Workers drain a shared atomic counter, so scheduling is dynamic
+//! (long cells don't block short ones behind a static partition), but
+//! results are returned **in job-index order** regardless of which
+//! worker finished when. Combined with per-cell seeding this makes a
+//! parallel sweep bit-identical to a serial one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of workers to use when the caller does not say: the host's
+/// available parallelism, or 1 if that cannot be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f(0..count)` on `jobs` workers and returns the results in
+/// index order.
+///
+/// `jobs <= 1` runs inline on the calling thread with no pool at all,
+/// so the serial path has zero threading overhead. A panic in any job
+/// propagates to the caller once the scope joins.
+pub fn run_indexed<T, F>(count: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(count.max(1));
+    if jobs <= 1 {
+        return (0..count).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, T)>> = Mutex::new(Vec::with_capacity(count));
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let r = f(i);
+                done.lock().expect("result sink poisoned").push((i, r));
+            });
+        }
+    });
+
+    let mut results = done.into_inner().expect("result sink poisoned");
+    debug_assert_eq!(results.len(), count);
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        // Make later jobs finish first by sleeping inversely to index.
+        let out = run_indexed(16, 4, |i| {
+            std::thread::sleep(std::time::Duration::from_millis((16 - i as u64) % 4));
+            i * 10
+        });
+        assert_eq!(out, (0..16).map(|i| i * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_path_runs_inline() {
+        let tid = std::thread::current().id();
+        let out = run_indexed(4, 1, |i| {
+            assert_eq!(std::thread::current().id(), tid);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicU64::new(0);
+        let n = 100;
+        run_indexed(n, 8, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), n as u64);
+    }
+
+    #[test]
+    fn zero_jobs_and_empty_lists_are_fine() {
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(3, 0, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

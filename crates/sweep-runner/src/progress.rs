@@ -1,0 +1,107 @@
+//! Live progress lines on stderr.
+//!
+//! One line per completed cell plus a summary, e.g.:
+//!
+//! ```text
+//! [suite 3/10] gcc/SLIP+ABP: 1.43s (1398 kacc/s, L2 81.2%, L3 44.0%)
+//! [suite] 10 cells done (4 from journal) in 4.1s
+//! ```
+//!
+//! The detail inside the parentheses is extracted from the cell's
+//! metrics object when the well-known keys are present, so the engine
+//! itself stays domain-agnostic.
+
+use crate::json::Value;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Progress reporter for one sweep. Thread-safe.
+#[derive(Debug)]
+pub struct Progress {
+    label: String,
+    total: usize,
+    done: AtomicUsize,
+    quiet: bool,
+    started: Instant,
+}
+
+impl Progress {
+    /// Creates a reporter for `total` cells; `quiet` suppresses all
+    /// output.
+    pub fn new(label: impl Into<String>, total: usize, quiet: bool) -> Progress {
+        Progress {
+            label: label.into(),
+            total,
+            done: AtomicUsize::new(0),
+            quiet,
+            started: Instant::now(),
+        }
+    }
+
+    /// Reports one completed cell.
+    pub fn cell_done(&self, key: &str, wall: Duration, metrics: &Value) {
+        let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.quiet {
+            return;
+        }
+        let mut detail = String::new();
+        if let Some(rate) = metrics.get("accesses_per_sec").and_then(Value::as_f64) {
+            detail.push_str(&format!("{:.0} kacc/s", rate / 1e3));
+        }
+        for (json_key, label) in [("l2_hit_rate", "L2"), ("l3_hit_rate", "L3")] {
+            if let Some(r) = metrics.get(json_key).and_then(Value::as_f64) {
+                if !detail.is_empty() {
+                    detail.push_str(", ");
+                }
+                detail.push_str(&format!("{label} {:.1}%", r * 100.0));
+            }
+        }
+        if detail.is_empty() {
+            eprintln!(
+                "[{} {n}/{}] {key}: {:.2}s",
+                self.label,
+                self.total,
+                wall.as_secs_f64()
+            );
+        } else {
+            eprintln!(
+                "[{} {n}/{}] {key}: {:.2}s ({detail})",
+                self.label,
+                self.total,
+                wall.as_secs_f64()
+            );
+        }
+    }
+
+    /// Prints the end-of-sweep summary; `from_journal` is how many
+    /// cells were restored rather than run.
+    pub fn finish(&self, from_journal: usize) {
+        if self.quiet {
+            return;
+        }
+        eprintln!(
+            "[{}] {} cells done ({from_journal} from journal) in {:.1}s",
+            self.label,
+            self.total + from_journal,
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_cells_without_printing_when_quiet() {
+        let p = Progress::new("t", 2, true);
+        p.cell_done("a", Duration::from_millis(5), &Value::object());
+        p.cell_done(
+            "b",
+            Duration::from_millis(5),
+            &Value::object().with("accesses_per_sec", Value::f64(1e6)),
+        );
+        p.finish(0);
+        assert_eq!(p.done.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Tier-1 gate: everything here must pass before merging.
+#
+# Operates on the workspace default-members (crates/bench is excluded
+# there to keep this loop fast and registry-free; build it explicitly
+# with `cargo build -p slip-bench` when touching bench targets).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if command -v cargo-clippy >/dev/null 2>&1; then
+    echo "==> cargo clippy -- -D warnings"
+    cargo clippy --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint step"
+fi
+
+echo "==> ci OK"

@@ -1,14 +1,20 @@
-//! Property-based tests over the core data structures and invariants,
-//! spanning crates.
+//! Randomized property tests over the core data structures and
+//! invariants, spanning crates.
+//!
+//! Each property draws its cases from a seeded [`SplitMix64`] stream,
+//! so every run explores the same (large) sample deterministically —
+//! no external property-testing framework, no shrink files.
 
+use cache_sim::rng::SplitMix64;
 use cache_sim::{
     AccessClass, AccessKind, BaselinePolicy, CacheGeometry, CacheLevel, FillRequest, LineAddr,
     Lru, WayMask,
 };
 use energy_model::Energy;
-use proptest::prelude::*;
 use slip_core::{bin_for_distance, slip_energy, slip_energy_direct, LevelModelParams,
                 RdDistribution, Slip};
+
+const CASES: u64 = 256;
 
 fn l2_params() -> LevelModelParams {
     LevelModelParams {
@@ -22,99 +28,131 @@ fn l2_params() -> LevelModelParams {
     }
 }
 
-proptest! {
-    /// Every SLIP code round-trips through decode/encode for every
-    /// sublevel count.
-    #[test]
-    fn slip_code_round_trips(sublevels in 1usize..=8, code in 0u16..256) {
-        let code = (code as usize % (1 << sublevels)) as u8;
-        let slip = Slip::from_code(sublevels, code).expect("in range");
-        prop_assert_eq!(slip.code(), code);
-        // Chunks partition the used prefix.
-        let mut next = 0;
-        for c in slip.chunks() {
-            prop_assert_eq!(*c.start(), next);
-            next = *c.end() + 1;
+/// Every SLIP code round-trips through decode/encode for every
+/// sublevel count.
+#[test]
+fn slip_code_round_trips() {
+    for sublevels in 1usize..=8 {
+        for code in 0..(1u16 << sublevels) {
+            let code = code as u8;
+            let slip = Slip::from_code(sublevels, code).expect("in range");
+            assert_eq!(slip.code(), code);
+            // Chunks partition the used prefix.
+            let mut next = 0;
+            for c in slip.chunks() {
+                assert_eq!(*c.start(), next);
+                next = *c.end() + 1;
+            }
+            assert_eq!(next, slip.used_sublevels());
         }
-        prop_assert_eq!(next, slip.used_sublevels());
     }
+}
 
-    /// The coefficient-based model always agrees with direct
-    /// Eq. 1-4 evaluation, for arbitrary probability vectors.
-    #[test]
-    fn coefficients_match_direct(
-        raw in prop::array::uniform4(0u32..1000),
-        code in 0u8..8,
-    ) {
-        let total: u32 = raw.iter().sum();
-        prop_assume!(total > 0);
-        let probs: Vec<f64> = raw.iter().map(|&c| f64::from(c) / f64::from(total)).collect();
-        let params = l2_params();
+/// The coefficient-based model always agrees with direct Eq. 1-4
+/// evaluation, for arbitrary probability vectors.
+#[test]
+fn coefficients_match_direct() {
+    let params = l2_params();
+    let mut rng = SplitMix64::new(0xC0EF);
+    for _ in 0..CASES {
+        let raw: Vec<u64> = (0..4).map(|_| rng.next_below(1000)).collect();
+        let total: u64 = raw.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let probs: Vec<f64> = raw.iter().map(|&c| c as f64 / total as f64).collect();
+        let code = rng.next_below(8) as u8;
         let slip = Slip::from_code(3, code).expect("valid");
         let a = slip_energy(&params, slip, &probs).as_pj();
         let b = slip_energy_direct(&params, slip, &probs).as_pj();
-        prop_assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
+        assert!((a - b).abs() < 1e-9, "{} vs {}", a, b);
     }
+}
 
-    /// The model is monotone in miss probability for any caching SLIP:
-    /// shifting mass from the nearest bin to the miss bin never
-    /// reduces energy.
-    #[test]
-    fn miss_mass_never_cheaper(code in 1u8..8, shift in 0.0f64..1.0) {
-        let params = l2_params();
+/// The model is monotone in miss probability for any caching SLIP:
+/// shifting mass from the nearest bin to the miss bin never reduces
+/// energy.
+#[test]
+fn miss_mass_never_cheaper() {
+    let params = l2_params();
+    let mut rng = SplitMix64::new(0x715F);
+    for _ in 0..CASES {
+        let code = 1 + rng.next_below(7) as u8;
+        let shift = rng.next_f64();
         let slip = Slip::from_code(3, code).expect("valid");
         let near = [1.0, 0.0, 0.0, 0.0];
         let shifted = [1.0 - shift, 0.0, 0.0, shift];
         let e_near = slip_energy(&params, slip, &near);
         let e_shift = slip_energy(&params, slip, &shifted);
-        prop_assert!(e_shift >= e_near - Energy::from_pj(1e-9));
+        assert!(
+            e_shift >= e_near - Energy::from_pj(1e-9),
+            "slip {slip} shift {shift}"
+        );
     }
+}
 
-    /// Distribution counters never exceed their maximum and halving
-    /// preserves relative order.
-    #[test]
-    fn rd_distribution_invariants(obs in prop::collection::vec(0usize..4, 0..2000)) {
+/// Distribution counters never exceed their maximum and probabilities
+/// stay normalized, under arbitrary observation streams; packing
+/// round-trips.
+#[test]
+fn rd_distribution_invariants() {
+    let mut rng = SplitMix64::new(0xD157);
+    for _ in 0..64 {
         let mut d = RdDistribution::paper_default();
-        for bin in obs {
-            d.observe(bin);
+        let n = rng.next_below(2000);
+        for _ in 0..n {
+            d.observe(rng.next_below(4) as usize);
         }
         for &c in d.counts() {
-            prop_assert!(c <= d.max_count());
+            assert!(c <= d.max_count());
         }
         let p = d.probabilities();
         let sum: f64 = p.iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-9);
+        assert!((sum - 1.0).abs() < 1e-9);
         // Packing round-trips.
         let packed = d.to_bits();
-        prop_assert_eq!(RdDistribution::from_bits(4, 4, packed), d);
+        assert_eq!(RdDistribution::from_bits(4, 4, packed), d);
     }
+}
 
-    /// `bin_for_distance` is monotone in the distance.
-    #[test]
-    fn bin_for_distance_monotone(a in 0u64..10_000, b in 0u64..10_000) {
-        let cc = [1024usize, 2048, 4096];
+/// `bin_for_distance` is monotone in the distance.
+#[test]
+fn bin_for_distance_monotone() {
+    let cc = [1024usize, 2048, 4096];
+    let mut rng = SplitMix64::new(0xB14);
+    for _ in 0..CASES {
+        let a = rng.next_below(10_000);
+        let b = rng.next_below(10_000);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(bin_for_distance(lo, &cc) <= bin_for_distance(hi, &cc));
+        assert!(bin_for_distance(lo, &cc) <= bin_for_distance(hi, &cc));
     }
+}
 
-    /// WayMask set algebra behaves like sets.
-    #[test]
-    fn waymask_set_algebra(a in 0u32..65536, b in 0u32..65536) {
+/// WayMask set algebra behaves like sets.
+#[test]
+fn waymask_set_algebra() {
+    let mut rng = SplitMix64::new(0x3E7);
+    for _ in 0..CASES {
+        let a = rng.next_below(65536) as u32;
+        let b = rng.next_below(65536) as u32;
         let x = WayMask::from_bits(a);
         let y = WayMask::from_bits(b);
-        prop_assert_eq!(x.union(y).count(), (a | b).count_ones() as usize);
-        prop_assert_eq!(x.intersect(y).count(), (a & b).count_ones() as usize);
-        prop_assert_eq!(x.difference(y).count(), (a & !b).count_ones() as usize);
+        assert_eq!(x.union(y).count(), (a | b).count_ones() as usize);
+        assert_eq!(x.intersect(y).count(), (a & b).count_ones() as usize);
+        assert_eq!(x.difference(y).count(), (a & !b).count_ones() as usize);
         for w in x.iter() {
-            prop_assert!(x.contains(w));
+            assert!(x.contains(w));
         }
     }
+}
 
-    /// A cache never holds more valid lines than its capacity, never
-    /// holds duplicates, and hits+misses always equals accesses —
-    /// under arbitrary access streams.
-    #[test]
-    fn cache_capacity_and_uniqueness(addrs in prop::collection::vec(0u64..512, 1..600)) {
+/// A cache never holds more valid lines than its capacity, never holds
+/// duplicates, and hits+misses always equals accesses — under
+/// arbitrary access streams.
+#[test]
+fn cache_capacity_and_uniqueness() {
+    let mut rng = SplitMix64::new(0xCACE);
+    for _ in 0..32 {
         let geom = CacheGeometry::from_sublevels(
             8,
             &[(2, Energy::from_pj(10.0), 2), (2, Energy::from_pj(30.0), 4)],
@@ -123,55 +161,60 @@ proptest! {
         let mut cache = CacheLevel::new("prop", geom);
         let mut policy = BaselinePolicy::new();
         let mut repl = Lru::new();
-        for (i, &a) in addrs.iter().enumerate() {
-            let line = LineAddr(a);
+        let n = 1 + rng.next_below(599);
+        for i in 0..n {
+            let line = LineAddr(rng.next_below(512));
             let res = cache.access(
                 line,
                 AccessKind::Read,
                 AccessClass::Demand,
-                i as u64 * 100,
+                i * 100,
                 &mut policy,
                 &mut repl,
             );
             if !res.is_hit() {
-                cache.fill(FillRequest::new(line), i as u64 * 100, &mut policy, &mut repl);
+                cache.fill(FillRequest::new(line), i * 100, &mut policy, &mut repl);
             }
             // The just-filled/hit line is resident.
-            prop_assert!(cache.contains(line));
+            assert!(cache.contains(line));
         }
-        prop_assert!(cache.resident_lines() <= capacity);
-        prop_assert_eq!(
+        assert!(cache.resident_lines() <= capacity);
+        assert_eq!(
             cache.stats.demand_hits + cache.stats.demand_misses,
             cache.stats.demand_accesses
         );
         // Insertions == misses (we filled on every miss; no bypass).
-        prop_assert_eq!(cache.stats.insertions, cache.stats.demand_misses);
+        assert_eq!(cache.stats.insertions, cache.stats.demand_misses);
     }
+}
 
-    /// Workload traces are exactly reproducible and have the requested
-    /// length, for every benchmark and any seed.
-    #[test]
-    fn traces_are_deterministic(seed in 0u64..1000, idx in 0usize..14) {
+/// Workload traces are exactly reproducible and have the requested
+/// length, for every benchmark and any seed.
+#[test]
+fn traces_are_deterministic() {
+    let mut rng = SplitMix64::new(0x7ACE);
+    for idx in 0..workloads::BENCHMARK_NAMES.len() {
+        let seed = rng.next_below(1000);
         let name = workloads::BENCHMARK_NAMES[idx];
         let spec = workloads::workload(name).expect("known");
         let a: Vec<_> = spec.trace(500, seed).collect();
         let b: Vec<_> = spec.trace(500, seed).collect();
-        prop_assert_eq!(a.len(), 500);
-        prop_assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// The EOU's argmin really is the minimum over all candidates, for
-    /// arbitrary distributions (exhaustive check per case).
-    #[test]
-    fn eou_is_argmin(raw in prop::array::uniform4(0u16..15)) {
-        let params = l2_params();
-        let mut eou = slip_core::EnergyOptimizerUnit::new(&params);
+/// The EOU's argmin really is the minimum over all candidates, for
+/// arbitrary distributions (exhaustive check per case).
+#[test]
+fn eou_is_argmin() {
+    let params = l2_params();
+    let mut eou = slip_core::EnergyOptimizerUnit::new(&params);
+    let mut rng = SplitMix64::new(0xE0);
+    for _ in 0..16 {
         let mut d = RdDistribution::paper_default();
-        for (bin, &c) in raw.iter().enumerate() {
+        for bin in 0..4 {
+            let c = rng.next_below(15);
             for _ in 0..c {
                 d.observe(bin);
             }
@@ -180,9 +223,11 @@ proptest! {
         let probs = d.probabilities();
         for slip in Slip::enumerate(3) {
             let e = slip_energy(&params, slip, &probs);
-            prop_assert!(
+            assert!(
                 decision.estimated_energy <= e + Energy::from_pj(1e-9),
-                "{} beats {}", slip, decision.slip
+                "{} beats {}",
+                slip,
+                decision.slip
             );
         }
     }
