@@ -58,21 +58,154 @@ impl AccessResult {
     }
 }
 
+/// A small reusable buffer of evicted lines.
+///
+/// A fill cascade produces at most one departing line today, so entries
+/// live in a fixed inline array and the heap is touched only if a
+/// future policy ever evicts more than [`EvictionBuf::INLINE`] lines
+/// from one operation. Combined with [`CacheLevel::fill_into`], this
+/// keeps the steady-state access loop allocation-free: callers clear
+/// and refill the same buffers instead of receiving fresh `Vec`s.
+///
+/// Dereferences to `&[EvictedLine]`, so indexing, `len()`, `iter()`,
+/// and slice patterns all work as they did on the former `Vec` fields.
+#[derive(Debug, Clone)]
+pub struct EvictionBuf {
+    inline: [EvictedLine; Self::INLINE],
+    /// Entries in `inline` (unused once spilled).
+    len: usize,
+    /// Overflow storage; when non-empty it holds *all* entries.
+    spill: Vec<EvictedLine>,
+}
+
+impl EvictionBuf {
+    /// Inline capacity. The demotion cascade stops at the first line
+    /// that leaves the level, so 2 covers every current policy with
+    /// headroom.
+    pub const INLINE: usize = 2;
+
+    const EMPTY: EvictedLine = EvictedLine {
+        addr: LineAddr(0),
+        dirty: false,
+        slip_codes: [0; 2],
+        sampling: false,
+        hits_since_fill: 0,
+    };
+
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        EvictionBuf {
+            inline: [Self::EMPTY; Self::INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// Appends an evicted line.
+    pub fn push(&mut self, line: EvictedLine) {
+        if self.spill.is_empty() {
+            if self.len < Self::INLINE {
+                self.inline[self.len] = line;
+                self.len += 1;
+                return;
+            }
+            self.spill.extend_from_slice(&self.inline[..self.len]);
+            self.len = 0;
+        }
+        self.spill.push(line);
+    }
+
+    /// Empties the buffer, keeping any spill capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+
+    /// The entries as a contiguous slice.
+    pub fn as_slice(&self) -> &[EvictedLine] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl Default for EvictionBuf {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::ops::Deref for EvictionBuf {
+    type Target = [EvictedLine];
+    fn deref(&self) -> &[EvictedLine] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for EvictionBuf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for EvictionBuf {}
+
+/// By-value iterator over an [`EvictionBuf`] (entries are `Copy`).
+#[derive(Debug)]
+pub struct EvictionBufIter {
+    buf: EvictionBuf,
+    pos: usize,
+}
+
+impl Iterator for EvictionBufIter {
+    type Item = EvictedLine;
+    fn next(&mut self) -> Option<EvictedLine> {
+        let item = self.buf.as_slice().get(self.pos).copied();
+        self.pos += item.is_some() as usize;
+        item
+    }
+}
+
+impl IntoIterator for EvictionBuf {
+    type Item = EvictedLine;
+    type IntoIter = EvictionBufIter;
+    fn into_iter(self) -> EvictionBufIter {
+        EvictionBufIter { buf: self, pos: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a EvictionBuf {
+    type Item = &'a EvictedLine;
+    type IntoIter = core::slice::Iter<'a, EvictedLine>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Result of a fill (insertion of a line arriving from the level below).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FillOutcome {
     /// The policy bypassed the level; nothing was written.
     pub bypassed: bool,
     /// Dirty lines that left the level and must be written back below.
-    pub writebacks: Vec<EvictedLine>,
+    pub writebacks: EvictionBuf,
     /// Clean lines that left the level.
-    pub clean_evictions: Vec<EvictedLine>,
+    pub clean_evictions: EvictionBuf,
 }
 
 impl FillOutcome {
     /// All lines that left the level, clean or dirty.
     pub fn evicted(&self) -> impl Iterator<Item = &EvictedLine> {
         self.writebacks.iter().chain(self.clean_evictions.iter())
+    }
+
+    /// Resets the outcome for reuse by [`CacheLevel::fill_into`].
+    pub fn clear(&mut self) {
+        self.bypassed = false;
+        self.writebacks.clear();
+        self.clean_evictions.clear();
     }
 }
 
@@ -109,6 +242,17 @@ pub struct CacheLevel {
     name: String,
     geom: CacheGeometry,
     lines: Vec<LineState>,
+    /// Compact per-slot partial tags (a pure hash of the line address),
+    /// kept in lockstep with `lines` so probes can scan 16-bit tags
+    /// instead of full line states. Collisions are verified against the
+    /// full address; false negatives are impossible.
+    tags: Vec<u16>,
+    /// Per-set valid-way bitmask, kept in lockstep with `lines`.
+    valid_bits: Vec<u32>,
+    /// Probe through the tag/valid-bit filter (fast path) instead of
+    /// scanning the line array (reference path). Results are identical;
+    /// see [`CacheLevel::with_tag_filter`].
+    tag_filter: bool,
     /// Monotone touch sequence for LRU stamps.
     seq: u64,
     /// The level access counter T of paper §4.1.
@@ -146,10 +290,15 @@ impl CacheLevel {
         let miss_latency = geom.way_latency.iter().copied().max().unwrap_or(1);
         let sublevels = geom.sublevels();
         let lines = vec![LineState::INVALID; geom.sets * geom.ways];
+        let tags = vec![0u16; geom.sets * geom.ways];
+        let valid_bits = vec![0u32; geom.sets];
         CacheLevel {
             name: name.into(),
             geom,
             lines,
+            tags,
+            valid_bits,
+            tag_filter: true,
             seq: 0,
             access_counter: 0,
             stamp_granule,
@@ -164,6 +313,40 @@ impl CacheLevel {
             finalized: false,
             slot_rng: SplitMix64::new(0xCAC4E ^ total_lines),
         }
+    }
+
+    /// Selects the probe implementation: `true` (the default) scans the
+    /// compact per-set tag/valid-bit filter, `false` scans the full
+    /// line array (the seed reference path). Both return identical
+    /// results; the reference path exists for golden-equivalence
+    /// testing.
+    pub fn with_tag_filter(mut self, enabled: bool) -> Self {
+        self.tag_filter = enabled;
+        self
+    }
+
+    /// The partial tag stored for a line address: a cheap mix of the
+    /// address words so lines that share a set rarely share a tag.
+    /// Purely a function of the address — never stale, collisions only
+    /// cost a full-address verify.
+    #[inline]
+    fn tag_of(line: LineAddr) -> u16 {
+        let a = line.0;
+        (a ^ (a >> 16) ^ (a >> 32) ^ (a >> 48)) as u16
+    }
+
+    /// Writes `state` into the slot at `set`/`way`, keeping the tag and
+    /// valid-bit mirrors in lockstep. Returns the displaced state.
+    #[inline]
+    fn replace_slot(&mut self, set: usize, way: usize, state: LineState) -> LineState {
+        let idx = set * self.geom.ways + way;
+        self.tags[idx] = Self::tag_of(state.addr);
+        if state.valid {
+            self.valid_bits[set] |= 1 << way;
+        } else {
+            self.valid_bits[set] &= !(1 << way);
+        }
+        core::mem::replace(&mut self.lines[idx], state)
     }
 
     /// Sets the per-line metadata access energy (Table 2).
@@ -235,9 +418,29 @@ impl CacheLevel {
     pub fn probe_way(&self, line: LineAddr) -> Option<usize> {
         let set = self.geom.set_of(line);
         let base = set * self.geom.ways;
-        self.lines[base..base + self.geom.ways]
-            .iter()
-            .position(|l| l.valid && l.addr == line)
+        if self.tag_filter {
+            // Walk the valid ways in ascending order (matching the
+            // reference scan), shortcut on the 16-bit tag, and verify
+            // candidates against the full address.
+            let tag = Self::tag_of(line);
+            let mut live = self.valid_bits[set];
+            while live != 0 {
+                let way = live.trailing_zeros() as usize;
+                live &= live - 1;
+                if self.tags[base + way] == tag {
+                    let slot = &self.lines[base + way];
+                    debug_assert!(slot.valid);
+                    if slot.addr == line {
+                        return Some(way);
+                    }
+                }
+            }
+            None
+        } else {
+            self.lines[base..base + self.geom.ways]
+                .iter()
+                .position(|l| l.valid && l.addr == line)
+        }
     }
 
     fn set_slice_mut(&mut self, set: usize) -> &mut [LineState] {
@@ -252,14 +455,19 @@ impl CacheLevel {
     /// the line timestamp, and (for NUCA-style policies) performs any
     /// promotion the placement policy requests. `now` is the current
     /// core cycle, used for port-contention modeling.
-    pub fn access(
+    ///
+    /// Generic over the concrete policy types so monomorphic call sites
+    /// (e.g. the L1, which always runs `BaselinePolicy` + `Lru`) inline
+    /// the whole policy interaction; `?Sized` keeps `&mut dyn` callers
+    /// working unchanged.
+    pub fn access<P: PlacementPolicy + ?Sized, R: ReplacementPolicy + ?Sized>(
         &mut self,
         line: LineAddr,
         kind: AccessKind,
         class: AccessClass,
         now: u64,
-        policy: &mut dyn PlacementPolicy,
-        repl: &mut dyn ReplacementPolicy,
+        policy: &mut P,
+        repl: &mut R,
     ) -> AccessResult {
         self.access_counter += 1;
         match class {
@@ -356,18 +564,29 @@ impl CacheLevel {
 
     /// Swaps the line at `way` with the slot at `target` (promotion).
     /// Returns the cycles the port is kept busy.
-    fn promote_swap(
+    fn promote_swap<P: PlacementPolicy + ?Sized, R: ReplacementPolicy + ?Sized>(
         &mut self,
         set: usize,
         way: usize,
         target: usize,
-        policy: &mut dyn PlacementPolicy,
-        repl: &mut dyn ReplacementPolicy,
+        policy: &mut P,
+        repl: &mut R,
     ) -> u32 {
         let pair_energy = self.geom.energy(way) + self.geom.energy(target);
         let pair_cycles = self.geom.latency(way) + self.geom.latency(target);
         let target_valid = self.line_at(set, target).valid;
         {
+            let base = set * self.geom.ways;
+            self.tags.swap(base + way, base + target);
+            // The hit line (valid) lands in `target`; the former target
+            // occupant — valid or not — lands in `way`.
+            let mut bits = self.valid_bits[set] | (1 << target);
+            if target_valid {
+                bits |= 1 << way;
+            } else {
+                bits &= !(1 << way);
+            }
+            self.valid_bits[set] = bits;
             let slice = self.set_slice_mut(set);
             slice.swap(way, target);
             if target_valid {
@@ -407,21 +626,25 @@ impl CacheLevel {
     /// one exists (see `slot_rng` for why it must not be the lowest),
     /// else the replacement policy's victim. Returns `None` if the mask
     /// is empty.
-    fn pick_slot(
+    fn pick_slot<R: ReplacementPolicy + ?Sized>(
         &mut self,
         set: usize,
         mask: WayMask,
-        repl: &mut dyn ReplacementPolicy,
+        repl: &mut R,
     ) -> Option<usize> {
         if mask.is_empty() {
             return None;
         }
-        let base = set * self.geom.ways;
-        let invalid = WayMask::from_bits(
-            mask.iter()
-                .filter(|&w| !self.lines[base + w].valid)
-                .fold(0u32, |acc, w| acc | (1 << w)),
-        );
+        let invalid = if self.tag_filter {
+            WayMask::from_bits(!self.valid_bits[set] & mask.bits())
+        } else {
+            let base = set * self.geom.ways;
+            WayMask::from_bits(
+                mask.iter()
+                    .filter(|&w| !self.lines[base + w].valid)
+                    .fold(0u32, |acc, w| acc | (1 << w)),
+            )
+        };
         if !invalid.is_empty() {
             let k = self.slot_rng.next_below(invalid.count() as u64) as usize;
             return invalid.iter().nth(k);
@@ -435,20 +658,36 @@ impl CacheLevel {
     /// The placement policy chooses the initial chunk or bypasses the
     /// level; displaced lines demote along their own SLIPs, possibly in a
     /// cascade (paper Section 4.3), until a line leaves the level.
-    pub fn fill(
+    pub fn fill<P: PlacementPolicy + ?Sized, R: ReplacementPolicy + ?Sized>(
         &mut self,
         req: FillRequest,
         now: u64,
-        policy: &mut dyn PlacementPolicy,
-        repl: &mut dyn ReplacementPolicy,
+        policy: &mut P,
+        repl: &mut R,
     ) -> FillOutcome {
         let mut outcome = FillOutcome::default();
+        self.fill_into(req, now, policy, repl, &mut outcome);
+        outcome
+    }
+
+    /// Allocation-free form of [`fill`](Self::fill): writes the result
+    /// into a caller-owned, reusable `outcome` (cleared on entry)
+    /// instead of returning a fresh one.
+    pub fn fill_into<P: PlacementPolicy + ?Sized, R: ReplacementPolicy + ?Sized>(
+        &mut self,
+        req: FillRequest,
+        now: u64,
+        policy: &mut P,
+        repl: &mut R,
+        outcome: &mut FillOutcome,
+    ) {
+        outcome.clear();
         self.stats
             .record_insertion_class(policy.classify_insertion(&self.geom, &req));
         let Some(initial_mask) = policy.insertion_mask(&self.geom, &req) else {
             self.stats.bypasses += 1;
             outcome.bypassed = true;
-            return outcome;
+            return;
         };
         assert!(
             !initial_mask.is_empty(),
@@ -486,7 +725,7 @@ impl CacheLevel {
             busy_cycles += self.geom.latency(way);
             self.seq += 1;
             state.lru_seq = self.seq;
-            let displaced = core::mem::replace(&mut self.set_slice_mut(set)[way], state);
+            let displaced = self.replace_slot(set, way, state);
             repl.on_fill(set, self.set_slice_mut(set), way);
 
             if !displaced.valid {
@@ -527,7 +766,6 @@ impl CacheLevel {
         }
         self.port_busy_until = self.port_busy_until.max(now) + u64::from(busy_cycles);
         self.movement_queue.drain();
-        outcome
     }
 
     /// Handles an incoming writeback from the level above.
@@ -535,7 +773,11 @@ impl CacheLevel {
     /// Write-no-allocate: on a hit the line is updated (and marked
     /// dirty); on a miss the writeback must be forwarded toward memory.
     /// Returns `true` on a hit.
-    pub fn writeback_access(&mut self, line: LineAddr, policy: &mut dyn PlacementPolicy) -> bool {
+    pub fn writeback_access<P: PlacementPolicy + ?Sized>(
+        &mut self,
+        line: LineAddr,
+        policy: &mut P,
+    ) -> bool {
         if policy.uses_movement_queue() {
             self.movement_queue.lookup(line);
             self.energy
@@ -566,6 +808,7 @@ impl CacheLevel {
         let slot = &mut self.set_slice_mut(set)[way];
         let out = EvictedLine::from_state(slot);
         *slot = LineState::INVALID;
+        self.valid_bits[set] &= !(1 << way);
         self.stats.evictions += 1;
         self.stats.record_line_reuses(out.hits_since_fill);
         Some(out)
@@ -578,14 +821,12 @@ impl CacheLevel {
             return;
         }
         self.finalized = true;
-        let reuses: Vec<u32> = self
-            .lines
-            .iter()
-            .filter(|l| l.valid)
-            .map(|l| l.hits_since_fill)
-            .collect();
-        for r in reuses {
-            self.stats.record_line_reuses(r);
+        // `lines` and `stats` are disjoint fields, so no intermediate
+        // collect is needed.
+        for l in &self.lines {
+            if l.valid {
+                self.stats.record_line_reuses(l.hits_since_fill);
+            }
         }
     }
 
@@ -844,6 +1085,96 @@ mod tests {
             &mut r,
         );
         assert!(contended.latency() > 7);
+    }
+
+    #[test]
+    fn eviction_buf_spills_past_inline_capacity() {
+        let mut buf = EvictionBuf::new();
+        assert!(buf.is_empty());
+        for i in 0..5u64 {
+            let mut e = EvictionBuf::EMPTY;
+            e.addr = LineAddr(i);
+            buf.push(e);
+        }
+        assert_eq!(buf.len(), 5);
+        assert_eq!(buf[4].addr, LineAddr(4));
+        let addrs: Vec<u64> = buf.clone().into_iter().map(|e| e.addr.0).collect();
+        assert_eq!(addrs, [0, 1, 2, 3, 4]);
+        buf.clear();
+        assert!(buf.as_slice().is_empty());
+        // Inline-only buffers and spilled-then-cleared buffers compare
+        // equal by contents.
+        assert_eq!(buf, EvictionBuf::new());
+    }
+
+    #[test]
+    fn fill_into_reuses_the_outcome_buffer() {
+        let mut c = small_level();
+        let mut p = BaselinePolicy::new();
+        let mut r = Lru::new();
+        let mut out = FillOutcome::default();
+        for i in 0..4 {
+            c.fill_into(FillRequest::new(LineAddr(i * 4)), 0, &mut p, &mut r, &mut out);
+            assert!(out.evicted().count() == 0);
+        }
+        c.fill_into(FillRequest::new(LineAddr(16)), 0, &mut p, &mut r, &mut out);
+        assert_eq!(out.clean_evictions.len(), 1);
+        // The next call clears the previous contents.
+        c.fill_into(FillRequest::new(LineAddr(17)), 0, &mut p, &mut r, &mut out);
+        assert!(out.clean_evictions.len() <= 1);
+    }
+
+    #[test]
+    fn tag_filter_and_reference_probe_agree() {
+        // Drive two identical levels through the same access stream,
+        // one probing through the tag filter and one scanning lines.
+        let mk = |filter: bool| {
+            let geom = CacheGeometry::from_sublevels(
+                4,
+                &[(2, Energy::from_pj(10.0), 2), (2, Energy::from_pj(30.0), 4)],
+            );
+            CacheLevel::new("test", geom).with_tag_filter(filter)
+        };
+        let mut fast = mk(true);
+        let mut slow = mk(false);
+        let mut p1 = BaselinePolicy::new();
+        let mut r1 = Lru::new();
+        let mut p2 = BaselinePolicy::new();
+        let mut r2 = Lru::new();
+        let mut rng = crate::rng::SplitMix64::new(7);
+        for step in 0..4000u64 {
+            let addr = LineAddr(rng.next_below(64));
+            let a = read(&mut fast, addr.0, &mut p1, &mut r1);
+            let b = read(&mut slow, addr.0, &mut p2, &mut r2);
+            assert_eq!(a, b, "step {step} access diverged");
+            if !a.is_hit() {
+                let oa = fast.fill(FillRequest::new(addr), 0, &mut p1, &mut r1);
+                let ob = slow.fill(FillRequest::new(addr), 0, &mut p2, &mut r2);
+                assert_eq!(oa, ob, "step {step} fill diverged");
+            }
+            if step % 97 == 0 {
+                assert_eq!(fast.invalidate(addr), slow.invalidate(addr));
+            }
+        }
+        assert_eq!(fast.stats, slow.stats);
+    }
+
+    #[test]
+    fn tag_collisions_still_resolve_by_full_address() {
+        // Two addresses engineered to share a set and a 16-bit tag:
+        // addr and addr + (1 << 16) + (1 << 32) differ in bits the tag
+        // XOR-folds together, canceling out.
+        let a = LineAddr(0x40);
+        let b = LineAddr(0x40 + (1 << 16) + (1 << 32));
+        let mut c = small_level();
+        let mut p = BaselinePolicy::new();
+        let mut r = Lru::new();
+        c.fill(FillRequest::new(a), 0, &mut p, &mut r);
+        c.fill(FillRequest::new(b), 0, &mut p, &mut r);
+        assert!(c.contains(a));
+        assert!(c.contains(b));
+        assert_ne!(c.probe_way(a), c.probe_way(b));
+        assert!(!c.contains(LineAddr(0x40 + (1 << 16))));
     }
 
     #[test]

@@ -259,10 +259,16 @@ impl CacheGeometry {
         m
     }
 
-    /// The set index a line maps to.
+    /// The set index a line maps to. Power-of-two set counts (every
+    /// paper configuration) index with a mask instead of a division;
+    /// the two forms are exactly equivalent.
     #[inline]
     pub fn set_of(&self, line: crate::addr::LineAddr) -> usize {
-        (line.0 % self.sets as u64) as usize
+        if self.sets.is_power_of_two() {
+            (line.0 as usize) & (self.sets - 1)
+        } else {
+            (line.0 % self.sets as u64) as usize
+        }
     }
 
     /// Sublevel of `way`.

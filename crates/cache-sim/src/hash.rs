@@ -1,0 +1,119 @@
+//! Fast, deterministic hashing for simulator-internal maps.
+//!
+//! The std `HashMap` default hasher (SipHash with a per-process random
+//! seed) costs tens of nanoseconds per lookup — real money on maps the
+//! simulator consults every access (TLB, page table). This is the
+//! word-at-a-time multiply/rotate scheme used by rustc's FxHash:
+//! not DoS-resistant (irrelevant here — keys are simulated addresses,
+//! not attacker input) and fully deterministic, which also removes the
+//! one source of run-to-run variation std's seeded hasher would add.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// 2^64 / golden ratio, the classic Fibonacci-hashing multiplier.
+const K: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Word-at-a-time multiplicative hasher (rustc's FxHash scheme).
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold in the length so "ab" and "ab\0" differ.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(hash_of(b"x"), hash_of(b"y"));
+    }
+
+    #[test]
+    fn tail_bytes_and_length_are_significant() {
+        assert_ne!(hash_of(b"ab"), hash_of(b"ab\0"));
+        assert_ne!(hash_of(b"abcdefgh"), hash_of(b"abcdefg"));
+        // Multi-chunk inputs hash all chunks.
+        assert_ne!(hash_of(b"abcdefgh12345678"), hash_of(b"abcdefgh12345679"));
+    }
+
+    #[test]
+    fn fx_map_works_as_a_plain_map() {
+        let mut m: FxHashMap<u64, u32> = FxHashMap::default();
+        for i in 0..1000 {
+            m.insert(i * 7, i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&21), Some(&3));
+        assert_eq!(m.get(&22), None);
+    }
+}

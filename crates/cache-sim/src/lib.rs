@@ -43,6 +43,7 @@
 pub mod addr;
 pub mod cache;
 pub mod geometry;
+pub mod hash;
 pub mod line;
 pub mod movement;
 pub mod policy;
@@ -51,7 +52,7 @@ pub mod rng;
 pub mod stats;
 
 pub use addr::{Access, AccessClass, AccessKind, LineAddr, PageId};
-pub use cache::{AccessResult, CacheLevel, FillOutcome, HitInfo};
+pub use cache::{AccessResult, CacheLevel, EvictionBuf, FillOutcome, HitInfo};
 pub use geometry::{CacheGeometry, WayMask};
 pub use line::{EvictedLine, LineState};
 pub use movement::MovementQueue;

@@ -7,6 +7,8 @@
 //! slip sweep [workload ...] [options]        benchmark x policy grid, parallel
 //! slip mix <bench_a> <bench_b> [options]     two cores, shared L3
 //! slip record <workload> <out.trc> [options] dump a synthetic trace
+//! slip bench [--quick] [--out b.json] [--check BENCH.json]
+//!                                            hot-path performance suite
 //!
 //! options:
 //!   --policy <baseline|nurapid|lru-pea|slip|slip-abp>   (default slip-abp)
@@ -52,7 +54,8 @@ usage:
   slip compare <workload> [--accesses N] [--seed S] [--jobs N]
   slip sweep [workload ...] [--accesses N] [--jobs N] [--journal run.jsonl]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
-  slip record <workload> <out.trc> [--accesses N] [--seed S]";
+  slip record <workload> <out.trc> [--accesses N] [--seed S]
+  slip bench [--quick] [--out bench.json] [--check BENCH_2.json]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -62,6 +65,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("mix") => cmd_mix(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -399,6 +403,87 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Regression tolerance for `slip bench --check`: fail when the fresh
+/// suite throughput drops more than this fraction below the baseline.
+const BENCH_REGRESSION_TOLERANCE: f64 = 0.20;
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = Some(value("--out")?),
+            "--check" => check = Some(value("--check")?),
+            other => return Err(format!("unknown bench option {other:?}")),
+        }
+    }
+
+    println!(
+        "slip bench ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    let report = sim_engine::bench::run(quick);
+    println!();
+    for k in &report.kernels {
+        println!("{:<40} {:>12.1} ns/iter", k.name, k.ns_per_iter);
+    }
+    for s in &report.systems {
+        println!(
+            "{:<40} {:>9.0} kacc/s ({} accesses in {:.3}s)",
+            s.name,
+            s.accesses_per_sec / 1e3,
+            s.accesses,
+            s.wall_secs
+        );
+    }
+    println!(
+        "{:<40} {:>9.0} kacc/s (geometric mean)",
+        "suite", report.suite_accesses_per_sec / 1e3
+    );
+
+    if let Some(path) = &out {
+        std::fs::write(path, report.to_value().to_json() + "\n")
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("\nwrote {path}");
+    }
+
+    if let Some(path) = &check {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let baseline = sweep_runner::json::Value::parse(&text)
+            .map_err(|e| format!("parsing {path}: {e:?}"))?;
+        let base_rate = sim_engine::bench::baseline_suite_rate(&baseline, quick)
+            .ok_or_else(|| format!("{path} has no suite_accesses_per_sec"))?;
+        let floor = base_rate * (1.0 - BENCH_REGRESSION_TOLERANCE);
+        let current = report.suite_accesses_per_sec;
+        println!(
+            "\ncheck vs {path}: current {:.0} kacc/s, baseline {:.0} kacc/s (floor {:.0})",
+            current / 1e3,
+            base_rate / 1e3,
+            floor / 1e3
+        );
+        if current < floor {
+            return Err(format!(
+                "throughput regression: {:.0} kacc/s is more than {:.0}% below the \
+                 baseline {:.0} kacc/s",
+                current / 1e3,
+                BENCH_REGRESSION_TOLERANCE * 100.0,
+                base_rate / 1e3
+            ));
+        }
+        println!("check OK");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +561,13 @@ mod tests {
     #[test]
     fn sweep_rejects_unknown_benchmarks() {
         assert!(cmd_sweep(&s(&["not-a-bench", "--accesses", "1000"])).is_err());
+    }
+
+    #[test]
+    fn bench_rejects_bad_options_before_running() {
+        assert!(cmd_bench(&s(&["--bogus"])).is_err());
+        assert!(cmd_bench(&s(&["--out"])).is_err());
+        assert!(cmd_bench(&s(&["--check"])).is_err());
     }
 
     #[test]

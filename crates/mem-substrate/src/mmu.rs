@@ -95,6 +95,9 @@ pub struct SlipMmu {
     /// like a TLB; here the TLB structure itself plays that role, so a
     /// non-default shift turns it into the SLIP-cache.
     block_shift: u32,
+    /// When set, SLIP recomputation runs the EOU's pre-kernel
+    /// `optimize_reference` path (for golden-equivalence testing).
+    reference_path: bool,
     /// MMU statistics.
     pub stats: MmuStats,
 }
@@ -140,8 +143,18 @@ impl SlipMmu {
             params: (l2, l3),
             default_codes: [default, default],
             block_shift: 12,
+            reference_path: false,
             stats: MmuStats::default(),
         }
+    }
+
+    /// Routes SLIP recomputation through the EOU's pre-kernel reference
+    /// implementation instead of the fused kernel. The two are
+    /// bit-identical by contract; golden-equivalence tests run both and
+    /// compare.
+    pub fn with_reference_path(mut self, reference: bool) -> Self {
+        self.reference_path = reference;
+        self
     }
 
     /// Rebuilds both EOUs with an explicit analytical objective (for
@@ -259,13 +272,20 @@ impl SlipMmu {
         let mut extra_cycles = 0;
         if transition.became_stable {
             // Step Í: recompute the SLIPs from the collected profile.
-            let (d2, d3) = {
-                let entry = self.page_table.entry_mut(page);
-                (entry.dists[0].clone(), entry.dists[1].clone())
-            };
-            let s2 = self.eou_l2.optimize(&d2).slip.code();
-            let s3 = self.eou_l3.optimize(&d3).slip.code();
+            // Borrowing the entry and the EOUs simultaneously is fine —
+            // they are disjoint fields — so no distribution clones.
             let entry = self.page_table.entry_mut(page);
+            let (s2, s3) = if self.reference_path {
+                (
+                    self.eou_l2.optimize_reference(&entry.dists[0]).slip.code(),
+                    self.eou_l3.optimize_reference(&entry.dists[1]).slip.code(),
+                )
+            } else {
+                (
+                    self.eou_l2.optimize(&entry.dists[0]).slip.code(),
+                    self.eou_l3.optimize(&entry.dists[1]).slip.code(),
+                )
+            };
             entry.slips = [s2, s3];
             self.stats.slip_recomputes += 1;
             self.stats.tlb_block_cycles += 1;

@@ -2,9 +2,9 @@
 //! and the sampling state bit, plus the per-page 32 b reuse-distance
 //! distributions conceptually stored in DRAM (paper §3.1, §4.1).
 
+use cache_sim::hash::FxHashMap;
 use cache_sim::PageId;
 use slip_core::{PageState, RdDistribution, Slip, SlipLevel};
-use std::collections::HashMap;
 
 /// Per-page metadata: 6 b of SLIPs + 1 state bit in the PTE, and two
 /// 16 b distributions (L2, L3) in DRAM.
@@ -70,7 +70,9 @@ impl PageEntry {
 pub struct PageTable {
     sublevels: usize,
     bin_bits: u32,
-    pages: HashMap<PageId, PageEntry>,
+    /// Looked up on every translation, so it uses the fast
+    /// deterministic hasher rather than std's seeded SipHash.
+    pages: FxHashMap<PageId, PageEntry>,
 }
 
 impl PageTable {
@@ -97,7 +99,7 @@ impl PageTable {
         PageTable {
             sublevels,
             bin_bits,
-            pages: HashMap::new(),
+            pages: FxHashMap::default(),
         }
     }
 

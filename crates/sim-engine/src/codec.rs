@@ -168,6 +168,9 @@ pub fn decode_result(v: &Value) -> Option<SimResult> {
         mmu_stats,
         eou_energy: Energy::from_pj(v.get("eou_energy_pj")?.as_f64()?),
         core_energy: Energy::from_pj(v.get("core_energy_pj")?.as_f64()?),
+        // Wall time is host-specific, so it stays out of the bit-exact
+        // payload; decoded results are untimed.
+        wall_time_secs: 0.0,
     })
 }
 
@@ -182,6 +185,8 @@ pub fn result_metrics(r: &SimResult, wall: std::time::Duration) -> Value {
     };
     Value::object()
         .with("accesses_per_sec", Value::f64(rate))
+        .with("cell_wall_secs", Value::f64(secs))
+        .with("sim_wall_secs", Value::f64(r.wall_time_secs))
         .with("l2_hit_rate", Value::f64(r.l2_stats.demand_hit_rate()))
         .with("l3_hit_rate", Value::f64(r.l3_stats.demand_hit_rate()))
         .with("l2_energy_pj", Value::f64(r.l2_total_energy().as_pj()))

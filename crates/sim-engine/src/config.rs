@@ -145,6 +145,11 @@ pub struct SystemConfig {
     pub rd_bin_bits: u32,
     /// Master seed for all stochastic components.
     pub seed: u64,
+    /// Run the pre-optimization reference hot path: line-array probes
+    /// instead of the tag filter and the allocating EOU loop instead of
+    /// the fused kernel. Results are bit-identical either way — the
+    /// golden-equivalence tier-1 test runs both and compares.
+    pub reference_hot_path: bool,
 }
 
 impl SystemConfig {
@@ -173,6 +178,7 @@ impl SystemConfig {
             sampling: SamplingConfig::paper_default(),
             rd_bin_bits: 4,
             seed: 0x511b,
+            reference_hot_path: false,
         }
     }
 
@@ -259,13 +265,14 @@ impl SystemConfig {
 
     /// Builds the L1 cache level.
     pub fn build_l1(&self) -> CacheLevel {
-        CacheLevel::new("L1", self.l1_geometry())
+        CacheLevel::new("L1", self.l1_geometry()).with_tag_filter(!self.reference_hot_path)
     }
 
     /// Builds the L2 cache level; the regular cache clocks hits at the
     /// flat Table 1 latency, NUCA/SLIP policies expose per-way latency.
     pub fn build_l2(&self) -> CacheLevel {
         let mut l2 = CacheLevel::new("L2", self.l2_geometry())
+            .with_tag_filter(!self.reference_hot_path)
             .with_metadata_energy(self.tech.l2.metadata_access)
             .with_mvq_lookup_energy(self.tech.movement_queue_lookup)
             .with_miss_latency(self.l2_uniform_latency);
@@ -278,6 +285,7 @@ impl SystemConfig {
     /// Builds the L3 cache level.
     pub fn build_l3(&self) -> CacheLevel {
         let mut l3 = CacheLevel::new("L3", self.l3_geometry())
+            .with_tag_filter(!self.reference_hot_path)
             .with_metadata_energy(self.tech.l3.metadata_access)
             .with_mvq_lookup_energy(self.tech.movement_queue_lookup)
             .with_miss_latency(self.l3_uniform_latency);

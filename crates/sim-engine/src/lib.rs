@@ -28,8 +28,10 @@
 //! println!("L2 energy saving: {:.1}%", saving * 100.0);
 //! ```
 
+pub mod bench;
 pub mod codec;
 pub mod config;
+pub mod dispatch;
 pub mod env;
 pub mod experiments;
 pub mod multicore;

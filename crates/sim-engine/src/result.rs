@@ -44,6 +44,11 @@ pub struct SimResult {
     pub eou_energy: Energy,
     /// Core (non-cache) dynamic energy.
     pub core_energy: Energy,
+    /// Host wall-clock seconds spent simulating the measured region
+    /// (0.0 when untimed, e.g. results decoded from a journal — wall
+    /// time is host-specific and deliberately outside the codec's
+    /// bit-exact payload).
+    pub wall_time_secs: f64,
 }
 
 impl SimResult {
@@ -107,6 +112,12 @@ impl SimResult {
             self.accesses as f64 / self.cycles as f64
         }
     }
+
+    /// Simulated accesses per host wall-clock second (simulator
+    /// throughput). `None` when the run was not timed.
+    pub fn accesses_per_sec(&self) -> Option<f64> {
+        (self.wall_time_secs > 0.0).then(|| self.accesses as f64 / self.wall_time_secs)
+    }
 }
 
 #[cfg(test)]
@@ -133,6 +144,7 @@ mod tests {
             mmu_stats: None,
             eou_energy: Energy::from_pj(10.0),
             core_energy: Energy::from_pj(1000.0),
+            wall_time_secs: 0.0,
         }
     }
 

@@ -9,10 +9,11 @@
 //! (paper §4.3).
 
 use crate::config::{PolicyKind, ReplacementKind, SystemConfig};
+use crate::dispatch::{AnyPlacement, AnyReplacement};
 use crate::result::SimResult;
 use cache_sim::{
-    AccessClass, AccessKind, AccessResult, BaselinePolicy, CacheLevel, Drrip, FillRequest,
-    LineAddr, Lru, PageId, PlacementPolicy, ReplacementPolicy, Ship,
+    AccessClass, AccessKind, AccessResult, BaselinePolicy, CacheLevel, Drrip, FillOutcome,
+    FillRequest, LineAddr, Lru, PageId, Ship,
 };
 use energy_model::Energy;
 use mem_substrate::{Dram, SlipMmu};
@@ -34,15 +35,19 @@ pub struct SingleCoreSystem {
     mmu: Option<SlipMmu>,
     l1_policy: BaselinePolicy,
     l1_repl: Lru,
-    l2_policy: Box<dyn PlacementPolicy + Send>,
-    l3_policy: Box<dyn PlacementPolicy + Send>,
-    l2_repl: Box<dyn ReplacementPolicy + Send>,
-    l3_repl: Box<dyn ReplacementPolicy + Send>,
+    l2_policy: AnyPlacement,
+    l3_policy: AnyPlacement,
+    l2_repl: AnyReplacement,
+    l3_repl: AnyReplacement,
     l2_cum_caps: Vec<usize>,
     l3_cum_caps: Vec<usize>,
     cycles: u64,
     accesses: u64,
     core_energy: Energy,
+    /// Reusable fill-outcome buffer: every fill at every level writes
+    /// into this scratch via `fill_into`, so the steady-state access
+    /// loop performs no per-access allocation.
+    fill_scratch: FillOutcome,
 }
 
 impl SingleCoreSystem {
@@ -56,39 +61,39 @@ impl SingleCoreSystem {
         let seed = config.seed;
 
         let randomized_victims = config.replacement != ReplacementKind::Lru;
-        let (l2_policy, l3_policy): (
-            Box<dyn PlacementPolicy + Send>,
-            Box<dyn PlacementPolicy + Send>,
-        ) =
-            match config.policy {
-                PolicyKind::Baseline => (Box::new(BaselinePolicy::new()), Box::new(BaselinePolicy::new())),
-                PolicyKind::NuRapid => {
-                    (Box::new(NuRapid::new(&l2_geom)), Box::new(NuRapid::new(&l3_geom)))
+        let (l2_policy, l3_policy): (AnyPlacement, AnyPlacement) = match config.policy {
+            PolicyKind::Baseline => (
+                AnyPlacement::Baseline(BaselinePolicy::new()),
+                AnyPlacement::Baseline(BaselinePolicy::new()),
+            ),
+            PolicyKind::NuRapid => (
+                AnyPlacement::NuRapid(NuRapid::new(&l2_geom)),
+                AnyPlacement::NuRapid(NuRapid::new(&l3_geom)),
+            ),
+            PolicyKind::LruPea => (
+                AnyPlacement::LruPea(LruPea::new(&l2_geom, seed ^ 0xA)),
+                AnyPlacement::LruPea(LruPea::new(&l3_geom, seed ^ 0xB)),
+            ),
+            PolicyKind::Slip | PolicyKind::SlipAbp => {
+                let mut p2 = SlipPlacement::new(SlipLevel::L2, &l2_geom);
+                let mut p3 = SlipPlacement::new(SlipLevel::L3, &l3_geom);
+                if randomized_victims {
+                    p2 = p2.with_randomized_victim_sublevel(seed ^ 0xC);
+                    p3 = p3.with_randomized_victim_sublevel(seed ^ 0xD);
                 }
-                PolicyKind::LruPea => (
-                    Box::new(LruPea::new(&l2_geom, seed ^ 0xA)),
-                    Box::new(LruPea::new(&l3_geom, seed ^ 0xB)),
-                ),
-                PolicyKind::Slip | PolicyKind::SlipAbp => {
-                    let mut p2 = SlipPlacement::new(SlipLevel::L2, &l2_geom);
-                    let mut p3 = SlipPlacement::new(SlipLevel::L3, &l3_geom);
-                    if randomized_victims {
-                        p2 = p2.with_randomized_victim_sublevel(seed ^ 0xC);
-                        p3 = p3.with_randomized_victim_sublevel(seed ^ 0xD);
-                    }
-                    (Box::new(p2), Box::new(p3))
-                }
-            };
+                (AnyPlacement::Slip(p2), AnyPlacement::Slip(p3))
+            }
+        };
 
-        let make_repl = |salt: u64| -> Box<dyn ReplacementPolicy + Send> {
+        let make_repl = |salt: u64| -> AnyReplacement {
             if config.policy == PolicyKind::LruPea {
                 // LRU-PEA's defining feature is its eviction priority.
-                return Box::new(PeaLru::new());
+                return AnyReplacement::PeaLru(PeaLru::new());
             }
             match config.replacement {
-                ReplacementKind::Lru => Box::new(Lru::new()),
-                ReplacementKind::Drrip => Box::new(Drrip::new(seed ^ salt)),
-                ReplacementKind::Ship => Box::new(Ship::new()),
+                ReplacementKind::Lru => AnyReplacement::Lru(Lru::new()),
+                ReplacementKind::Drrip => AnyReplacement::Drrip(Drrip::new(seed ^ salt)),
+                ReplacementKind::Ship => AnyReplacement::Ship(Ship::new()),
             }
         };
 
@@ -110,6 +115,7 @@ impl SingleCoreSystem {
                 mmu = mmu.forbid_all_bypass();
             }
             mmu = mmu.with_eou_objective(config.eou_objective);
+            mmu = mmu.with_reference_path(config.reference_hot_path);
             Some(mmu)
         } else {
             None
@@ -138,6 +144,7 @@ impl SingleCoreSystem {
             cycles: 0,
             accesses: 0,
             core_energy: Energy::ZERO,
+            fill_scratch: FillOutcome::default(),
         }
         .with_dram()
     }
@@ -206,8 +213,8 @@ impl SingleCoreSystem {
             access.kind,
             AccessClass::Demand,
             now,
-            self.l2_policy.as_mut(),
-            self.l2_repl.as_mut(),
+            &mut self.l2_policy,
+            &mut self.l2_repl,
         );
         match r2 {
             AccessResult::Hit(h2) => {
@@ -233,8 +240,8 @@ impl SingleCoreSystem {
                     access.kind,
                     AccessClass::Demand,
                     now,
-                    self.l3_policy.as_mut(),
-                    self.l3_repl.as_mut(),
+                    &mut self.l3_policy,
+                    &mut self.l3_repl,
                 );
                 match r3 {
                     AccessResult::Hit(h3) => {
@@ -277,12 +284,15 @@ impl SingleCoreSystem {
         let mut req = FillRequest::new(line);
         req.dirty = kind.is_write();
         let now = self.cycles;
-        let out = self
-            .l1
-            .fill(req, now, &mut self.l1_policy, &mut self.l1_repl);
-        for wb in out.writebacks {
+        // Writeback routing below never re-enters fill, so the scratch
+        // buffer can be taken for the duration of the loop.
+        let mut out = core::mem::take(&mut self.fill_scratch);
+        self.l1
+            .fill_into(req, now, &mut self.l1_policy, &mut self.l1_repl, &mut out);
+        for wb in &out.writebacks {
             self.writeback_below_l1(wb.addr);
         }
+        self.fill_scratch = out;
     }
 
     fn fill_l2(&mut self, line: LineAddr, slip_codes: [u8; 2], sampling: bool, page: PageId) {
@@ -291,12 +301,18 @@ impl SingleCoreSystem {
         req.sampling = sampling;
         req.signature = Self::signature(page);
         let now = self.cycles;
-        let out = self
-            .l2
-            .fill(req, now, self.l2_policy.as_mut(), self.l2_repl.as_mut());
-        for wb in out.writebacks {
+        let mut out = core::mem::take(&mut self.fill_scratch);
+        self.l2.fill_into(
+            req,
+            now,
+            &mut self.l2_policy,
+            &mut self.l2_repl,
+            &mut out,
+        );
+        for wb in &out.writebacks {
             self.writeback_below_l2(wb.addr);
         }
+        self.fill_scratch = out;
     }
 
     fn fill_l3(&mut self, line: LineAddr, slip_codes: [u8; 2], sampling: bool, page: PageId) -> bool {
@@ -305,9 +321,14 @@ impl SingleCoreSystem {
         req.sampling = sampling;
         req.signature = Self::signature(page);
         let now = self.cycles;
-        let out = self
-            .l3
-            .fill(req, now, self.l3_policy.as_mut(), self.l3_repl.as_mut());
+        let mut out = core::mem::take(&mut self.fill_scratch);
+        self.l3.fill_into(
+            req,
+            now,
+            &mut self.l3_policy,
+            &mut self.l3_repl,
+            &mut out,
+        );
         for wb in &out.writebacks {
             self.dram.write_line();
             if self.config.inclusive_llc {
@@ -319,7 +340,9 @@ impl SingleCoreSystem {
                 self.back_invalidate(ev.addr);
             }
         }
-        out.bypassed
+        let bypassed = out.bypassed;
+        self.fill_scratch = out;
+        bypassed
     }
 
     /// Inclusive-LLC back-invalidation: a line leaving the L3 must also
@@ -344,7 +367,7 @@ impl SingleCoreSystem {
     /// Routes an L1 dirty eviction down the hierarchy
     /// (write-no-allocate at L2/L3).
     fn writeback_below_l1(&mut self, line: LineAddr) {
-        if self.l2.writeback_access(line, self.l2_policy.as_mut()) {
+        if self.l2.writeback_access(line, &mut self.l2_policy) {
             return;
         }
         self.writeback_below_l2(line);
@@ -352,7 +375,7 @@ impl SingleCoreSystem {
 
     /// Routes an L2 dirty eviction to L3 or DRAM.
     fn writeback_below_l2(&mut self, line: LineAddr) {
-        if self.l3.writeback_access(line, self.l3_policy.as_mut()) {
+        if self.l3.writeback_access(line, &mut self.l3_policy) {
             return;
         }
         self.dram.write_line();
@@ -368,8 +391,8 @@ impl SingleCoreSystem {
             AccessKind::Read,
             AccessClass::Metadata,
             now,
-            self.l2_policy.as_mut(),
-            self.l2_repl.as_mut(),
+            &mut self.l2_policy,
+            &mut self.l2_repl,
         );
         if let AccessResult::Hit(h) = r2 {
             return h.latency;
@@ -380,8 +403,8 @@ impl SingleCoreSystem {
             AccessKind::Read,
             AccessClass::Metadata,
             now,
-            self.l3_policy.as_mut(),
-            self.l3_repl.as_mut(),
+            &mut self.l3_policy,
+            &mut self.l3_repl,
         );
         match r3 {
             AccessResult::Hit(h3) => {
@@ -406,33 +429,43 @@ impl SingleCoreSystem {
         req.slip_codes = [default_code, default_code];
         req.signature = 0xFFFF;
         let now = self.cycles;
+        let mut out = core::mem::take(&mut self.fill_scratch);
         match level {
             FillLevel::L2 => {
-                let out = self
-                    .l2
-                    .fill(req, now, self.l2_policy.as_mut(), self.l2_repl.as_mut());
-                for wb in out.writebacks {
+                self.l2.fill_into(
+                    req,
+                    now,
+                    &mut self.l2_policy,
+                    &mut self.l2_repl,
+                    &mut out,
+                );
+                for wb in &out.writebacks {
                     self.writeback_below_l2(wb.addr);
                 }
             }
             FillLevel::L3 => {
-                let out = self
-                    .l3
-                    .fill(req, now, self.l3_policy.as_mut(), self.l3_repl.as_mut());
-                for _wb in out.writebacks {
+                self.l3.fill_into(
+                    req,
+                    now,
+                    &mut self.l3_policy,
+                    &mut self.l3_repl,
+                    &mut out,
+                );
+                for _wb in &out.writebacks {
                     self.dram.write_line();
                 }
             }
         }
+        self.fill_scratch = out;
     }
 
     /// Writes a page's distribution record back (TLB eviction of a
     /// sampling page).
     fn metadata_writeback(&mut self, meta_line: LineAddr) {
-        if self.l2.writeback_access(meta_line, self.l2_policy.as_mut()) {
+        if self.l2.writeback_access(meta_line, &mut self.l2_policy) {
             return;
         }
-        if self.l3.writeback_access(meta_line, self.l3_policy.as_mut()) {
+        if self.l3.writeback_access(meta_line, &mut self.l3_policy) {
             return;
         }
         self.dram.write_metadata();
@@ -489,6 +522,7 @@ impl SingleCoreSystem {
                 .as_ref()
                 .map_or(Energy::ZERO, |m| m.eou_energy()),
             core_energy: self.core_energy,
+            wall_time_secs: 0.0,
         }
     }
 
@@ -534,8 +568,12 @@ pub fn run_workload_with_warmup(
         system.step(access);
     }
     system.reset_measurements();
+    let started = std::time::Instant::now();
     system.run(trace);
-    system.finish(spec.name().to_owned())
+    let wall = started.elapsed().as_secs_f64();
+    let mut result = system.finish(spec.name().to_owned());
+    result.wall_time_secs = wall;
+    result
 }
 
 #[cfg(test)]

@@ -81,11 +81,19 @@ pub struct EouDecision {
 /// let decision = eou.optimize(&dist);
 /// assert!(decision.slip.is_all_bypass());
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct EnergyOptimizerUnit {
     sublevels: usize,
-    /// One (SLIP, coefficient vector) pair per candidate, in code order.
-    table: Vec<(Slip, Vec<Energy>)>,
+    /// Coefficients per candidate row (`sublevels + 1` bins).
+    bins: usize,
+    /// Candidate SLIPs in code order (code 0 = All-Bypass Policy).
+    slips: Vec<Slip>,
+    /// Flattened coefficient matrix, `matrix[code * bins + bin]` — one
+    /// contiguous Eq. 5 `α` row per candidate so the argmin kernel
+    /// streams the whole table in a single pass.
+    matrix: Vec<Energy>,
+    /// Reusable probability scratch so `optimize` never allocates.
+    probs: Vec<f64>,
     default_slip: Slip,
     cost: EouCost,
     /// When cleared, the All-Bypass Policy is excluded from the
@@ -93,6 +101,19 @@ pub struct EnergyOptimizerUnit {
     allow_abp: bool,
     /// Optimizations performed (for energy accounting).
     ops: u64,
+}
+
+impl PartialEq for EnergyOptimizerUnit {
+    fn eq(&self, other: &Self) -> bool {
+        // `probs` is transient scratch, not observable state.
+        self.sublevels == other.sublevels
+            && self.slips == other.slips
+            && self.matrix == other.matrix
+            && self.default_slip == other.default_slip
+            && self.cost == other.cost
+            && self.allow_abp == other.allow_abp
+            && self.ops == other.ops
+    }
 }
 
 impl EnergyOptimizerUnit {
@@ -105,19 +126,23 @@ impl EnergyOptimizerUnit {
     /// Builds an EOU with an explicit objective (see [`EouObjective`]).
     pub fn with_objective(params: &LevelModelParams, objective: EouObjective) -> Self {
         let s = params.sublevels();
-        let table = Slip::enumerate(s)
-            .into_iter()
-            .map(|slip| {
-                let alpha = match objective {
-                    EouObjective::InsertionAware => coefficients(params, slip),
-                    EouObjective::PaperLiteral => coefficients_paper(params, slip),
-                };
-                (slip, alpha)
-            })
-            .collect();
+        let bins = s + 1;
+        let slips = Slip::enumerate(s);
+        let mut matrix = Vec::with_capacity(slips.len() * bins);
+        for &slip in &slips {
+            let alpha = match objective {
+                EouObjective::InsertionAware => coefficients(params, slip),
+                EouObjective::PaperLiteral => coefficients_paper(params, slip),
+            };
+            assert_eq!(alpha.len(), bins, "one coefficient per bin");
+            matrix.extend_from_slice(&alpha);
+        }
         EnergyOptimizerUnit {
             sublevels: s,
-            table,
+            bins,
+            slips,
+            matrix,
+            probs: vec![0.0; bins],
             default_slip: Slip::default_slip(s).expect("1..=8 sublevels"),
             cost: EouCost::paper_45nm(),
             allow_abp: true,
@@ -146,7 +171,7 @@ impl EnergyOptimizerUnit {
 
     /// Number of candidate SLIPs (the paper's `P = 2^S`).
     pub fn candidates(&self) -> usize {
-        self.table.len()
+        self.slips.len()
     }
 
     /// The hardware cost constants of this unit.
@@ -174,7 +199,30 @@ impl EnergyOptimizerUnit {
     /// An empty distribution (warmup) yields the Default SLIP, as the
     /// paper prescribes. Ties favor the Default SLIP, then the lower
     /// code.
+    ///
+    /// Allocation-free: the bin probabilities land in an internal
+    /// scratch buffer and the argmin runs as one fused pass over the
+    /// flat coefficient matrix ([`best_slip`](Self::best_slip)). The
+    /// result is bit-identical to the pre-kernel implementation, kept
+    /// as [`optimize_reference`](Self::optimize_reference).
     pub fn optimize(&mut self, dist: &RdDistribution) -> EouDecision {
+        self.ops += 1;
+        dist.write_probabilities(&mut self.probs);
+        if dist.is_empty() {
+            return EouDecision {
+                slip: self.default_slip,
+                estimated_energy: self.dot(self.default_slip.code() as usize, &self.probs),
+            };
+        }
+        self.best_slip(&self.probs)
+    }
+
+    /// The seed (pre-kernel) implementation of
+    /// [`optimize`](Self::optimize): allocates a fresh probability
+    /// vector and folds each candidate's dot product through iterator
+    /// `Sum`. Kept verbatim so golden-equivalence tests can prove the
+    /// fused kernel is bit-identical.
+    pub fn optimize_reference(&mut self, dist: &RdDistribution) -> EouDecision {
         self.ops += 1;
         if dist.is_empty() {
             let probs = dist.probabilities();
@@ -187,13 +235,14 @@ impl EnergyOptimizerUnit {
         // Seed with the Default SLIP so ties keep regular behavior.
         let mut best = self.default_slip;
         let mut best_e = self.evaluate(best, &probs);
-        for (slip, alpha) in &self.table {
+        for (code, &slip) in self.slips.iter().enumerate() {
             if slip.is_all_bypass() && !self.allow_abp {
                 continue;
             }
+            let alpha = &self.matrix[code * self.bins..(code + 1) * self.bins];
             let e: Energy = alpha.iter().zip(&probs).map(|(&a, &p)| a * p).sum();
             if e < best_e {
-                best = *slip;
+                best = slip;
                 best_e = e;
             }
         }
@@ -201,6 +250,46 @@ impl EnergyOptimizerUnit {
             slip: best,
             estimated_energy: best_e,
         }
+    }
+
+    /// The fused dot-product/argmin kernel: one pass over the flat
+    /// coefficient matrix, no allocation. Ties favor the Default SLIP,
+    /// then the lower code, exactly as [`optimize`](Self::optimize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probability slice length disagrees with the bin
+    /// count.
+    pub fn best_slip(&self, probs: &[f64]) -> EouDecision {
+        assert_eq!(probs.len(), self.bins, "one probability per bin");
+        // Seed with the Default SLIP so ties keep regular behavior.
+        let mut best = self.default_slip;
+        let mut best_e = self.dot(best.code() as usize, probs);
+        // Code 0 is the All-Bypass Policy; skip it when forbidden.
+        let start = usize::from(!self.allow_abp);
+        for code in start..self.slips.len() {
+            let e = self.dot(code, probs);
+            if e < best_e {
+                best = self.slips[code];
+                best_e = e;
+            }
+        }
+        EouDecision {
+            slip: best,
+            estimated_energy: best_e,
+        }
+    }
+
+    /// One row dot product, accumulated in the same order as iterator
+    /// `Sum` (fold from zero) so results stay bit-identical.
+    #[inline]
+    fn dot(&self, code: usize, probs: &[f64]) -> Energy {
+        let row = &self.matrix[code * self.bins..(code + 1) * self.bins];
+        let mut e = Energy::ZERO;
+        for (&a, &p) in row.iter().zip(probs) {
+            e += a * p;
+        }
+        e
     }
 
     /// Evaluates the model for one SLIP on bin probabilities.
@@ -212,7 +301,8 @@ impl EnergyOptimizerUnit {
     pub fn evaluate(&self, slip: Slip, probs: &[f64]) -> Energy {
         assert_eq!(slip.sublevels(), self.sublevels, "sublevel mismatch");
         assert_eq!(probs.len(), self.sublevels + 1, "one probability per bin");
-        let alpha = &self.table[slip.code() as usize].1;
+        let code = slip.code() as usize;
+        let alpha = &self.matrix[code * self.bins..(code + 1) * self.bins];
         alpha.iter().zip(probs).map(|(&a, &p)| a * p).sum()
     }
 }
@@ -347,6 +437,51 @@ mod tests {
         assert_eq!(c.throughput_per_cycle, 1);
         assert!((c.energy_per_op.as_pj() - 1.27).abs() < 1e-12);
         assert!((c.area_mm2 - 0.00366).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_matches_reference_bit_for_bit() {
+        for forbid in [false, true] {
+            let mut fast_eou = EnergyOptimizerUnit::new(&l2_params());
+            let mut ref_eou = EnergyOptimizerUnit::new(&l2_params());
+            if forbid {
+                fast_eou = fast_eou.forbid_all_bypass();
+                ref_eou = ref_eou.forbid_all_bypass();
+            }
+            for counts in [
+                [0u16, 0, 0, 0],
+                [15, 0, 0, 0],
+                [0, 0, 0, 15],
+                [10, 2, 1, 2],
+                [2, 2, 2, 9],
+                [8, 0, 4, 3],
+                [1, 1, 1, 1],
+                [3, 7, 11, 5],
+            ] {
+                let dist = dist_from(&counts);
+                let fast = fast_eou.optimize(&dist);
+                let slow = ref_eou.optimize_reference(&dist);
+                assert_eq!(fast.slip, slow.slip, "{counts:?} forbid={forbid}");
+                assert_eq!(
+                    fast.estimated_energy.as_pj().to_bits(),
+                    slow.estimated_energy.as_pj().to_bits(),
+                    "{counts:?} forbid={forbid}"
+                );
+            }
+            // Scratch contents are not state: both units compare equal.
+            assert_eq!(fast_eou, ref_eou);
+        }
+    }
+
+    #[test]
+    fn best_slip_is_pure_and_allocation_free_interface() {
+        let eou = EnergyOptimizerUnit::new(&l2_params());
+        let d = eou.best_slip(&[0.0, 0.0, 0.0, 1.0]);
+        assert!(d.slip.is_all_bypass());
+        // Repeated calls on &self give the same answer (no hidden state).
+        let d2 = eou.best_slip(&[0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(d.slip, d2.slip);
+        assert_eq!(eou.operations(), 0, "best_slip does not count as an op");
     }
 
     #[test]

@@ -109,15 +109,56 @@ impl RdDistribution {
     /// Normalized probabilities per bin (`P_x^d` aggregated to bins).
     /// All-zero counts yield a uniform distribution, matching the
     /// paper's treatment of unknown reuse behavior as Default-SLIP-like.
+    ///
+    /// Thin allocating wrapper over
+    /// [`write_probabilities`](Self::write_probabilities); hot paths
+    /// should reuse a buffer with that method instead.
     pub fn probabilities(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.counts.len()];
+        self.write_probabilities(&mut out);
+        out
+    }
+
+    /// Writes the normalized bin probabilities into a caller-owned
+    /// buffer (the allocation-free form of
+    /// [`probabilities`](Self::probabilities); identical values, bit
+    /// for bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the bin count.
+    pub fn write_probabilities(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.counts.len(), "one slot per bin");
         let total = self.total();
         if total == 0 {
-            return vec![1.0 / self.counts.len() as f64; self.counts.len()];
+            out.fill(1.0 / self.counts.len() as f64);
+            return;
         }
-        self.counts
-            .iter()
-            .map(|&c| f64::from(c) / total as f64)
-            .collect()
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = f64::from(c) / total as f64;
+        }
+    }
+
+    /// Fixed-point (Q16) variant of
+    /// [`write_probabilities`](Self::write_probabilities) for
+    /// integer-only consumers: each slot gets
+    /// `floor(count * 2^16 / total)` (or `floor(2^16 / bins)` when
+    /// empty), so a hardware EOU can run the Eq. 5 dot products without
+    /// a floating-point unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the bin count.
+    pub fn write_probabilities_q16(&self, out: &mut [u32]) {
+        assert_eq!(out.len(), self.counts.len(), "one slot per bin");
+        let total = self.total();
+        if total == 0 {
+            out.fill((1u32 << 16) / self.counts.len() as u32);
+            return;
+        }
+        for (o, &c) in out.iter_mut().zip(&self.counts) {
+            *o = ((u64::from(c) << 16) / u64::from(total)) as u32;
+        }
     }
 
     /// Packs the counters into a little-endian bit string (16 bits for
@@ -232,6 +273,41 @@ mod tests {
         }
         let sum: f64 = d.probabilities().iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn write_probabilities_matches_allocating_form() {
+        let mut d = RdDistribution::paper_default();
+        for bin in [0, 0, 1, 3, 3, 3, 2] {
+            d.observe(bin);
+        }
+        let mut buf = [0.0f64; 4];
+        d.write_probabilities(&mut buf);
+        for (a, b) in buf.iter().zip(&d.probabilities()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn q16_probabilities_track_the_float_form() {
+        let mut d = RdDistribution::paper_default();
+        let mut q = [0u32; 4];
+        d.write_probabilities_q16(&mut q);
+        assert_eq!(q, [16384; 4], "empty distribution is uniform");
+        for bin in [0, 0, 0, 3] {
+            d.observe(bin);
+        }
+        d.write_probabilities_q16(&mut q);
+        assert_eq!(q, [49152, 0, 0, 16384]);
+        for (qi, pi) in q.iter().zip(&d.probabilities()) {
+            assert!((f64::from(*qi) / 65536.0 - pi).abs() < 1.0 / 65536.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one slot per bin")]
+    fn write_probabilities_rejects_wrong_len() {
+        RdDistribution::paper_default().write_probabilities(&mut [0.0; 3]);
     }
 
     #[test]

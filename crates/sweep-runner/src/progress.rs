@@ -13,7 +13,18 @@
 
 use crate::json::Value;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Work accumulated across completed cells, for the end-of-sweep
+/// aggregate throughput line.
+#[derive(Debug, Default, Clone, Copy)]
+struct Aggregate {
+    /// Simulated accesses, summed from each cell's reported rate.
+    accesses: f64,
+    /// Per-cell wall seconds, summed (worker time, not sweep time).
+    cell_secs: f64,
+}
 
 /// Progress reporter for one sweep. Thread-safe.
 #[derive(Debug)]
@@ -23,6 +34,7 @@ pub struct Progress {
     done: AtomicUsize,
     quiet: bool,
     started: Instant,
+    aggregate: Mutex<Aggregate>,
 }
 
 impl Progress {
@@ -35,17 +47,24 @@ impl Progress {
             done: AtomicUsize::new(0),
             quiet,
             started: Instant::now(),
+            aggregate: Mutex::new(Aggregate::default()),
         }
     }
 
     /// Reports one completed cell.
     pub fn cell_done(&self, key: &str, wall: Duration, metrics: &Value) {
         let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let rate = metrics.get("accesses_per_sec").and_then(Value::as_f64);
+        if let Some(rate) = rate {
+            let mut agg = self.aggregate.lock().unwrap();
+            agg.accesses += rate * wall.as_secs_f64();
+            agg.cell_secs += wall.as_secs_f64();
+        }
         if self.quiet {
             return;
         }
         let mut detail = String::new();
-        if let Some(rate) = metrics.get("accesses_per_sec").and_then(Value::as_f64) {
+        if let Some(rate) = rate {
             detail.push_str(&format!("{:.0} kacc/s", rate / 1e3));
         }
         for (json_key, label) in [("l2_hit_rate", "L2"), ("l3_hit_rate", "L3")] {
@@ -73,14 +92,28 @@ impl Progress {
         }
     }
 
+    /// Aggregate simulator throughput in accesses per second across all
+    /// reported cells (total simulated accesses over total per-cell
+    /// wall time), or `None` when no cell reported a rate.
+    pub fn aggregate_rate(&self) -> Option<f64> {
+        let agg = *self.aggregate.lock().unwrap();
+        (agg.cell_secs > 0.0).then(|| agg.accesses / agg.cell_secs)
+    }
+
     /// Prints the end-of-sweep summary; `from_journal` is how many
     /// cells were restored rather than run.
     pub fn finish(&self, from_journal: usize) {
         if self.quiet {
             return;
         }
+        let mut detail = String::new();
+        if let Some(rate) = self.aggregate_rate() {
+            let cells = self.done.load(Ordering::Relaxed).max(1);
+            let mean = self.aggregate.lock().unwrap().cell_secs / cells as f64;
+            detail = format!(" ({:.0} kacc/s aggregate, {mean:.2}s/cell)", rate / 1e3);
+        }
         eprintln!(
-            "[{}] {} cells done ({from_journal} from journal) in {:.1}s",
+            "[{}] {} cells done ({from_journal} from journal) in {:.1}s{detail}",
             self.label,
             self.total + from_journal,
             self.started.elapsed().as_secs_f64()
@@ -103,5 +136,27 @@ mod tests {
         );
         p.finish(0);
         assert_eq!(p.done.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn aggregates_throughput_across_cells() {
+        let p = Progress::new("t", 2, true);
+        assert!(p.aggregate_rate().is_none());
+        // 1 Macc/s for 2s + 3 Macc/s for 1s = 5 Macc over 3s.
+        p.cell_done(
+            "a",
+            Duration::from_secs(2),
+            &Value::object().with("accesses_per_sec", Value::f64(1e6)),
+        );
+        p.cell_done(
+            "b",
+            Duration::from_secs(1),
+            &Value::object().with("accesses_per_sec", Value::f64(3e6)),
+        );
+        let rate = p.aggregate_rate().unwrap();
+        assert!((rate - 5e6 / 3.0).abs() < 1.0, "rate was {rate}");
+        // Cells without a rate don't perturb the aggregate.
+        p.cell_done("c", Duration::from_secs(9), &Value::object());
+        assert!((p.aggregate_rate().unwrap() - rate).abs() < 1.0);
     }
 }

@@ -21,4 +21,14 @@ else
     echo "==> clippy not installed; skipping lint step"
 fi
 
+# Perf-regression smoke: the quick microbench suite must stay within
+# 20% of the committed baseline (BENCH_2.json). Wall-clock sensitive,
+# so allow opting out on loaded/shared machines.
+if [ "${SLIP_SKIP_BENCH:-0}" = "1" ]; then
+    echo "==> SLIP_SKIP_BENCH=1; skipping bench smoke"
+else
+    echo "==> slip bench --quick --check BENCH_2.json"
+    ./target/release/slip bench --quick --check BENCH_2.json
+fi
+
 echo "==> ci OK"
