@@ -18,9 +18,15 @@ fn main() {
     print!("{}", hardware::eou_table(&hardware::eou_summary()).render());
     println!();
 
-    print!("{}", motivation::fig01_table(&motivation::fig01(accesses)).render());
+    print!(
+        "{}",
+        motivation::fig01_table(&motivation::fig01(accesses)).render()
+    );
     println!();
-    print!("{}", motivation::fig03_table(&motivation::fig03(accesses)).render());
+    print!(
+        "{}",
+        motivation::fig03_table(&motivation::fig03(accesses)).render()
+    );
     println!();
 
     let suite = SuiteResults::run(SuiteOptions::paper_full().with_accesses(accesses));

@@ -5,8 +5,7 @@ use sim_engine::experiments::{energy, SuiteOptions, SuiteResults};
 
 fn main() {
     slip_bench::print_header("Figure 9: energy savings at L2 and L3");
-    let suite = SuiteResults::run(
-        SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()),
-    );
+    let suite =
+        SuiteResults::run(SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()));
     print!("{}", energy::fig09_table(&energy::fig09(&suite)).render());
 }

@@ -4,8 +4,7 @@ use sim_engine::experiments::{energy, SuiteOptions, SuiteResults};
 
 fn main() {
     slip_bench::print_header("Figure 11: access/movement energy breakdown");
-    let suite = SuiteResults::run(
-        SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()),
-    );
+    let suite =
+        SuiteResults::run(SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()));
     print!("{}", energy::fig11_table(&energy::fig11(&suite)).render());
 }

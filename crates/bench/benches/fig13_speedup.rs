@@ -4,8 +4,7 @@ use sim_engine::experiments::{speedup, SuiteOptions, SuiteResults};
 
 fn main() {
     slip_bench::print_header("Figure 13: speedups vs regular hierarchy");
-    let suite = SuiteResults::run(
-        SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()),
-    );
+    let suite =
+        SuiteResults::run(SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()));
     print!("{}", speedup::fig13_table(&speedup::fig13(&suite)).render());
 }

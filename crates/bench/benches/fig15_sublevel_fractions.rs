@@ -5,8 +5,7 @@ use sim_engine::experiments::{traffic, SuiteOptions, SuiteResults};
 
 fn main() {
     slip_bench::print_header("Figure 15: sublevel access fractions");
-    let suite = SuiteResults::run(
-        SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()),
-    );
+    let suite =
+        SuiteResults::run(SuiteOptions::paper_full().with_accesses(slip_bench::bench_accesses()));
     print!("{}", traffic::fig15_table(&traffic::fig15(&suite)).render());
 }

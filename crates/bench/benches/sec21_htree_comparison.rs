@@ -5,9 +5,6 @@ use sim_engine::experiments::energy;
 
 fn main() {
     slip_bench::print_header("Section 2.1: H-tree vs hierarchical-bus energy");
-    let rows = energy::htree_comparison(
-        slip_bench::bench_accesses(),
-        &workloads::BENCHMARK_NAMES,
-    );
+    let rows = energy::htree_comparison(slip_bench::bench_accesses(), &workloads::BENCHMARK_NAMES);
     print!("{}", energy::htree_table(&rows).render());
 }

@@ -419,20 +419,23 @@ impl CacheLevel {
         let set = self.geom.set_of(line);
         let base = set * self.geom.ways;
         if self.tag_filter {
-            // Walk the valid ways in ascending order (matching the
-            // reference scan), shortcut on the 16-bit tag, and verify
-            // candidates against the full address.
-            let tag = Self::tag_of(line);
-            let mut live = self.valid_bits[set];
-            while live != 0 {
-                let way = live.trailing_zeros() as usize;
-                live &= live - 1;
-                if self.tags[base + way] == tag {
-                    let slot = &self.lines[base + way];
-                    debug_assert!(slot.valid);
-                    if slot.addr == line {
-                        return Some(way);
-                    }
+            // Compare every way's 16-bit tag at once (SWAR, four lanes
+            // per u64 word), mask to the valid ways, then verify the
+            // surviving candidates against the full address in
+            // ascending-way order (matching the reference scan). The
+            // lane trick can flag a non-matching lane next to a
+            // matching one, never the reverse, so false positives cost
+            // a verify and false negatives cannot happen.
+            let tags = &self.tags[base..base + self.geom.ways];
+            let mut candidates =
+                Self::tag_match_mask(tags, Self::tag_of(line)) & self.valid_bits[set];
+            while candidates != 0 {
+                let way = candidates.trailing_zeros() as usize;
+                candidates &= candidates - 1;
+                let slot = &self.lines[base + way];
+                debug_assert!(slot.valid);
+                if slot.addr == line {
+                    return Some(way);
                 }
             }
             None
@@ -441,6 +444,39 @@ impl CacheLevel {
                 .iter()
                 .position(|l| l.valid && l.addr == line)
         }
+    }
+
+    /// Bitmask of the ways whose stored tag equals `tag`, computed four
+    /// 16-bit lanes at a time with the zero-lane-detection trick
+    /// (`(x - 1) & !x & 0x8000` per lane over `word ^ broadcast(tag)`).
+    /// Lanes equal to `tag` are always flagged; a borrow rippling out
+    /// of a matching lane can additionally flag its neighbor, which the
+    /// caller's full-address verify rejects.
+    #[inline]
+    fn tag_match_mask(tags: &[u16], tag: u16) -> u32 {
+        const LANE_LSB: u64 = 0x0001_0001_0001_0001;
+        const LANE_MSB: u64 = 0x8000_8000_8000_8000;
+        let needle = LANE_LSB * u64::from(tag);
+        let mut mask = 0u32;
+        let mut chunks = tags.chunks_exact(4);
+        for (i, lanes) in chunks.by_ref().enumerate() {
+            let word = u64::from(lanes[0])
+                | u64::from(lanes[1]) << 16
+                | u64::from(lanes[2]) << 32
+                | u64::from(lanes[3]) << 48;
+            let x = word ^ needle;
+            let hits = x.wrapping_sub(LANE_LSB) & !x & LANE_MSB;
+            // Compress the four lane-MSB flags into four mask bits.
+            let nibble =
+                (((hits >> 15) & 1) | ((hits >> 30) & 2) | ((hits >> 45) & 4) | ((hits >> 60) & 8))
+                    as u32;
+            mask |= nibble << (4 * i);
+        }
+        let tail_base = tags.len() - chunks.remainder().len();
+        for (i, &t) in chunks.remainder().iter().enumerate() {
+            mask |= u32::from(t == tag) << (tail_base + i);
+        }
+        mask
     }
 
     fn set_slice_mut(&mut self, set: usize) -> &mut [LineState] {
@@ -856,10 +892,7 @@ mod tests {
         // 4 sets x 4 ways, 2 sublevels of 2 ways each.
         let geom = CacheGeometry::from_sublevels(
             4,
-            &[
-                (2, Energy::from_pj(10.0), 2),
-                (2, Energy::from_pj(30.0), 4),
-            ],
+            &[(2, Energy::from_pj(10.0), 2), (2, Energy::from_pj(30.0), 4)],
         );
         CacheLevel::new("test", geom)
     }
@@ -870,7 +903,14 @@ mod tests {
         p: &mut dyn PlacementPolicy,
         r: &mut dyn ReplacementPolicy,
     ) -> AccessResult {
-        c.access(LineAddr(addr), AccessKind::Read, AccessClass::Demand, 0, p, r)
+        c.access(
+            LineAddr(addr),
+            AccessKind::Read,
+            AccessClass::Demand,
+            0,
+            p,
+            r,
+        )
     }
 
     #[test]
@@ -1114,7 +1154,13 @@ mod tests {
         let mut r = Lru::new();
         let mut out = FillOutcome::default();
         for i in 0..4 {
-            c.fill_into(FillRequest::new(LineAddr(i * 4)), 0, &mut p, &mut r, &mut out);
+            c.fill_into(
+                FillRequest::new(LineAddr(i * 4)),
+                0,
+                &mut p,
+                &mut r,
+                &mut out,
+            );
             assert!(out.evicted().count() == 0);
         }
         c.fill_into(FillRequest::new(LineAddr(16)), 0, &mut p, &mut r, &mut out);
@@ -1175,6 +1221,46 @@ mod tests {
         assert!(c.contains(b));
         assert_ne!(c.probe_way(a), c.probe_way(b));
         assert!(!c.contains(LineAddr(0x40 + (1 << 16))));
+    }
+
+    #[test]
+    fn tag_match_mask_never_misses_a_matching_lane() {
+        // Deterministic randomized sweep over lane counts (including a
+        // non-multiple-of-4 tail) and adversarial values around the
+        // borrow-ripple cases (0, 1, tag±1, 0x8000): every exact match
+        // must be flagged; spurious flags are allowed.
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for ways in [1usize, 3, 4, 7, 8, 16, 23, 32] {
+            for _ in 0..500 {
+                let tag = next() as u16;
+                let tags: Vec<u16> = (0..ways)
+                    .map(|_| match next() % 8 {
+                        0 => tag,
+                        1 => 0,
+                        2 => 1,
+                        3 => tag.wrapping_add(1),
+                        4 => tag.wrapping_sub(1),
+                        5 => 0x8000,
+                        _ => next() as u16,
+                    })
+                    .collect();
+                let mask = CacheLevel::tag_match_mask(&tags, tag);
+                for (w, &t) in tags.iter().enumerate() {
+                    if t == tag {
+                        assert!(
+                            mask & (1 << w) != 0,
+                            "lane {w} (tag {tag:#x}) missed in {tags:x?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -18,7 +18,10 @@ const CASES: u64 = 128;
 fn geom_2level() -> CacheGeometry {
     CacheGeometry::from_sublevels(
         16,
-        &[(4, Energy::from_pj(10.0), 2), (12, Energy::from_pj(40.0), 6)],
+        &[
+            (4, Energy::from_pj(10.0), 2),
+            (12, Energy::from_pj(40.0), 6),
+        ],
     )
 }
 
@@ -118,7 +121,14 @@ fn cascades_terminate_and_conserve_lines() {
         let mut departed = 0u64;
         for (i, &line) in addrs.iter().enumerate() {
             let hit = cache
-                .access(line, AccessKind::Read, AccessClass::Demand, i as u64, &mut policy, &mut repl)
+                .access(
+                    line,
+                    AccessKind::Read,
+                    AccessClass::Demand,
+                    i as u64,
+                    &mut policy,
+                    &mut repl,
+                )
                 .is_hit();
             if !hit {
                 let out = cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
@@ -169,7 +179,14 @@ fn energy_is_monotone() {
         let mut prev = Energy::ZERO;
         for (i, &line) in addrs.iter().enumerate() {
             let hit = cache
-                .access(line, AccessKind::Read, AccessClass::Demand, i as u64, &mut policy, &mut repl)
+                .access(
+                    line,
+                    AccessKind::Read,
+                    AccessClass::Demand,
+                    i as u64,
+                    &mut policy,
+                    &mut repl,
+                )
                 .is_hit();
             if !hit {
                 cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);

@@ -21,6 +21,12 @@
 //!   --journal <path>    JSONL run journal; a re-run with the same
 //!                       options resumes, skipping completed cells
 //!                                                       (default SLIP_JOURNAL)
+//!   --trace-mode <inline|pipelined|shared>
+//!                       how sweep cells obtain their access streams
+//!                                                       (default SLIP_TRACE_MODE or shared)
+//!   --trace-cache-mb <N>  shared-trace cache budget in MiB; over-budget
+//!                       groups regenerate pipelined, 0 disables sharing
+//!                                                       (default SLIP_TRACE_CACHE_MB or 1024)
 //! ```
 
 use sim_engine::config::{PolicyKind, ReplacementKind, SystemConfig};
@@ -28,7 +34,7 @@ use sim_engine::experiments::{SuiteOptions, SuiteResults};
 use sim_engine::multicore::run_mix;
 use sim_engine::report::{pct, Table};
 use sim_engine::system::run_workload;
-use sim_engine::{SimResult, SingleCoreSystem, SweepConfig};
+use sim_engine::{SimResult, SingleCoreSystem, SweepConfig, TraceMode};
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -53,9 +59,10 @@ usage:
            [--replacement R] [--inclusive] [--csv out.csv]
   slip compare <workload> [--accesses N] [--seed S] [--jobs N]
   slip sweep [workload ...] [--accesses N] [--jobs N] [--journal run.jsonl]
+             [--trace-mode inline|pipelined|shared] [--trace-cache-mb N]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]
-  slip bench [--quick] [--out bench.json] [--check BENCH_2.json]";
+  slip bench [--quick] [--out bench.json] [--check BENCH_4.json]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -82,6 +89,8 @@ struct Options {
     csv: Option<String>,
     jobs: usize,
     journal: Option<PathBuf>,
+    trace_mode: TraceMode,
+    trace_cache_mb: u64,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -95,6 +104,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         csv: None,
         jobs: sim_engine::env::jobs(),
         journal: sim_engine::env::journal(),
+        trace_mode: sim_engine::env::trace_mode(),
+        trace_cache_mb: sim_engine::env::trace_cache_mb(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -106,8 +117,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         match a.as_str() {
             "--policy" => {
                 let v = value("--policy")?;
-                o.policy = PolicyKind::parse(&v)
-                    .ok_or_else(|| format!("unknown policy {v:?}"))?;
+                o.policy = PolicyKind::parse(&v).ok_or_else(|| format!("unknown policy {v:?}"))?;
             }
             "--replacement" => {
                 o.replacement = match value("--replacement")?.as_str() {
@@ -138,9 +148,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--jobs: {e}"))?
             }
             "--journal" => o.journal = Some(PathBuf::from(value("--journal")?)),
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option {other:?}"))
+            "--trace-mode" => {
+                let v = value("--trace-mode")?;
+                o.trace_mode =
+                    TraceMode::parse(&v).ok_or_else(|| format!("unknown trace mode {v:?}"))?;
             }
+            "--trace-cache-mb" => {
+                o.trace_cache_mb = value("--trace-cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--trace-cache-mb: {e}"))?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             _ => o.positional.push(a.clone()),
         }
     }
@@ -194,7 +212,10 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
 }
 
 fn print_result(r: &SimResult) {
-    println!("workload {}   policy {}   accesses {}", r.workload, r.policy, r.accesses);
+    println!(
+        "workload {}   policy {}   accesses {}",
+        r.workload, r.policy, r.accesses
+    );
     println!("cycles {}   IPC {:.3}", r.cycles, r.ipc());
     println!();
     println!("                 L1           L2           L3");
@@ -260,7 +281,11 @@ fn write_csv(path: &str, r: &SimResult) -> std::io::Result<()> {
     )?;
     writeln!(f, "dram_energy_pj,{}", r.dram_energy.total().as_pj())?;
     writeln!(f, "eou_energy_pj,{}", r.eou_energy.as_pj())?;
-    writeln!(f, "full_system_energy_pj,{}", r.full_system_energy().as_pj())?;
+    writeln!(
+        f,
+        "full_system_energy_pj,{}",
+        r.full_system_energy().as_pj()
+    )?;
     Ok(())
 }
 
@@ -322,6 +347,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         jobs: o.jobs,
         journal: o.journal.clone(),
         quiet: false,
+        trace_mode: o.trace_mode,
+        trace_cache_mb: o.trace_cache_mb,
     };
     let suite = SuiteResults::run_with(options, &sweep).map_err(|e| format!("journal: {e}"))?;
     let mut t = Table::new(
@@ -329,7 +356,13 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "energy savings vs baseline ({} accesses/benchmark, {} jobs)",
             o.accesses, o.jobs
         ),
-        &["benchmark", "SLIP L2", "SLIP L3", "SLIP+ABP L2", "SLIP+ABP L3"],
+        &[
+            "benchmark",
+            "SLIP L2",
+            "SLIP L3",
+            "SLIP+ABP L2",
+            "SLIP+ABP L3",
+        ],
     );
     for &bench in suite.benchmarks() {
         t.row(vec![
@@ -426,10 +459,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         }
     }
 
-    println!(
-        "slip bench ({} mode)",
-        if quick { "quick" } else { "full" }
-    );
+    println!("slip bench ({} mode)", if quick { "quick" } else { "full" });
     let report = sim_engine::bench::run(quick);
     println!();
     for k in &report.kernels {
@@ -444,9 +474,28 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             s.wall_secs
         );
     }
+    let inline_sweep = report
+        .sweep_modes
+        .iter()
+        .find(|s| s.name == "sweep/inline")
+        .map(|s| s.accesses_per_sec);
+    for s in &report.sweep_modes {
+        let vs_inline = match inline_sweep {
+            Some(base) if base > 0.0 => format!(", {:.2}x vs inline", s.accesses_per_sec / base),
+            _ => String::new(),
+        };
+        println!(
+            "{:<40} {:>9.0} kacc/s ({} cells in {:.3}s{vs_inline})",
+            s.name,
+            s.accesses_per_sec / 1e3,
+            s.cells,
+            s.wall_secs
+        );
+    }
     println!(
         "{:<40} {:>9.0} kacc/s (geometric mean)",
-        "suite", report.suite_accesses_per_sec / 1e3
+        "suite",
+        report.suite_accesses_per_sec / 1e3
     );
 
     if let Some(path) = &out {
@@ -456,8 +505,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(path) = &check {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let baseline = sweep_runner::json::Value::parse(&text)
             .map_err(|e| format!("parsing {path}: {e:?}"))?;
         let base_rate = sim_engine::bench::baseline_suite_rate(&baseline, quick)
@@ -522,6 +570,10 @@ mod tests {
             "3",
             "--journal",
             "run.jsonl",
+            "--trace-mode",
+            "pipelined",
+            "--trace-cache-mb",
+            "64",
         ]))
         .unwrap();
         assert_eq!(o.policy, PolicyKind::NuRapid);
@@ -531,7 +583,12 @@ mod tests {
         assert!(o.inclusive);
         assert_eq!(o.csv.as_deref(), Some("out.csv"));
         assert_eq!(o.jobs, 3);
-        assert_eq!(o.journal.as_deref(), Some(std::path::Path::new("run.jsonl")));
+        assert_eq!(
+            o.journal.as_deref(),
+            Some(std::path::Path::new("run.jsonl"))
+        );
+        assert_eq!(o.trace_mode, TraceMode::Pipelined);
+        assert_eq!(o.trace_cache_mb, 64);
     }
 
     #[test]
@@ -550,6 +607,8 @@ mod tests {
         assert!(parse_options(&s(&["--csv"])).is_err());
         assert!(parse_options(&s(&["--jobs", "few"])).is_err());
         assert!(parse_options(&s(&["--journal"])).is_err());
+        assert!(parse_options(&s(&["--trace-mode", "magic"])).is_err());
+        assert!(parse_options(&s(&["--trace-cache-mb", "lots"])).is_err());
     }
 
     #[test]

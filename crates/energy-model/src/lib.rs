@@ -228,7 +228,11 @@ mod tests {
 
     #[test]
     fn sum_over_iterator() {
-        let parts = [Energy::from_pj(1.0), Energy::from_pj(2.0), Energy::from_pj(3.0)];
+        let parts = [
+            Energy::from_pj(1.0),
+            Energy::from_pj(2.0),
+            Energy::from_pj(3.0),
+        ];
         let owned: Energy = parts.iter().copied().sum();
         let borrowed: Energy = parts.iter().sum();
         assert_eq!(owned.as_pj(), 6.0);

@@ -151,8 +151,8 @@ pub static TECH_45NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLoc
 /// wire energy scales by only ~0.7x, so the far/near asymmetry grows. These
 /// constants are our estimates (see DESIGN.md §4); the paper reports only the
 /// resulting savings (36% L2, 25% L3 for SLIP+ABP).
-pub static TECH_22NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLock::new(|| {
-    TechnologyParams {
+pub static TECH_22NM: std::sync::LazyLock<TechnologyParams> =
+    std::sync::LazyLock::new(|| TechnologyParams {
         name: "22nm",
         wire_pj_per_bit_mm: 0.11,
         wire_delay_ns_per_mm: 0.35,
@@ -179,8 +179,7 @@ pub static TECH_22NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLoc
         dram_pj_per_bit: 14.0,
         eou_op: Energy::from_pj(0.7),
         movement_queue_lookup: Energy::from_pj(0.18),
-    }
-});
+    });
 
 #[cfg(test)]
 mod tests {

@@ -268,10 +268,7 @@ mod tests {
         let ht = grid.way_energies(Topology::HTree, &WireParams::NM45);
         let way = grid.way_energies(Topology::HierarchicalBusWayInterleaved, &WireParams::NM45);
         assert!(ht.windows(2).all(|w| w[0] == w[1]));
-        let worst = way
-            .iter()
-            .copied()
-            .fold(Energy::ZERO, Energy::max);
+        let worst = way.iter().copied().fold(Energy::ZERO, Energy::max);
         assert_eq!(ht[0], worst);
         // H-tree must be strictly worse than the way-interleaved mean --
         // this is the premise of the paper's Section 2.1 comparison.

@@ -110,7 +110,13 @@ impl SlipMmu {
     ///
     /// Panics if the two levels disagree on sublevel count.
     pub fn new(seed: u64, l2: LevelModelParams, l3: LevelModelParams) -> Self {
-        Self::with_config(seed, l2, l3, SamplingConfig::paper_default(), Tlb::paper_default())
+        Self::with_config(
+            seed,
+            l2,
+            l3,
+            SamplingConfig::paper_default(),
+            Tlb::paper_default(),
+        )
     }
 
     /// Creates an MMU with explicit sampling configuration and TLB.

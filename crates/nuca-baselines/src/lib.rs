@@ -61,7 +61,14 @@ mod tests {
         // Wherever it landed, hit it repeatedly: after enough hits the
         // line must reside in sublevel 0 and movement energy was paid.
         for i in 0..4 {
-            c.access(addr, AccessKind::Read, AccessClass::Demand, i * 100, policy, repl);
+            c.access(
+                addr,
+                AccessKind::Read,
+                AccessClass::Demand,
+                i * 100,
+                policy,
+                repl,
+            );
         }
         let way = c.probe_way(addr).unwrap();
         assert_eq!(c.geometry().sublevel(way), 0, "{}", policy.name());

@@ -150,7 +150,9 @@ mod tests {
         let mut p = LruPea::new(&g, 1);
         let mut per_cluster = [0u64; 3];
         for _ in 0..6000 {
-            let m = p.insertion_mask(&g, &FillRequest::new(LineAddr(0))).unwrap();
+            let m = p
+                .insertion_mask(&g, &FillRequest::new(LineAddr(0)))
+                .unwrap();
             let s = g.sublevel(m.first().unwrap());
             assert_eq!(m, g.sublevel_ways(s), "mask must be one whole cluster");
             per_cluster[s] += 1;

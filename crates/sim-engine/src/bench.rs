@@ -17,9 +17,13 @@
 //! schedstat is unavailable the harness falls back to wall clock.
 
 use crate::config::{PolicyKind, SystemConfig};
+use crate::experiments::{SuiteOptions, SuiteResults};
+use crate::pipeline::TraceMode;
 use crate::system::SingleCoreSystem;
+use crate::SweepConfig;
 use std::time::Instant;
 use sweep_runner::json::Value;
+use workloads::TraceBuffer;
 
 /// Nanoseconds the calling thread has spent on-CPU, per the scheduler
 /// (`None` off Linux or when procfs is unavailable). Monotone
@@ -80,6 +84,25 @@ pub struct SystemResult {
     pub accesses_per_sec: f64,
 }
 
+/// One execution mode of the sweep A/B: a small benchmark × policy
+/// grid run end to end (trace handling included) under one
+/// [`TraceMode`].
+#[derive(Debug, Clone)]
+pub struct SweepModeResult {
+    /// Run name, e.g. `sweep/shared`.
+    pub name: String,
+    /// Cells in the grid.
+    pub cells: u64,
+    /// Total simulated accesses across the grid.
+    pub accesses: u64,
+    /// Wall seconds of the best repetition. Wall clock, not thread CPU
+    /// time: the pipelined mode spends its CPU on a producer thread,
+    /// which the calling thread's schedstat cannot see.
+    pub wall_secs: f64,
+    /// Simulated accesses per wall second (best repetition).
+    pub accesses_per_sec: f64,
+}
+
 /// Everything one `slip bench` invocation measured.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -89,6 +112,9 @@ pub struct BenchReport {
     pub kernels: Vec<KernelResult>,
     /// Full-system throughput runs.
     pub systems: Vec<SystemResult>,
+    /// The trace-mode sweep A/B (inline vs pipelined vs shared),
+    /// interleaved in the same measurement window.
+    pub sweep_modes: Vec<SweepModeResult>,
     /// Geometric mean of the system throughputs — the suite's headline
     /// number and the value regression checks compare.
     pub suite_accesses_per_sec: f64,
@@ -109,11 +135,25 @@ impl BenchReport {
                     .with("accesses_per_sec", Value::f64(s.accesses_per_sec)),
             )
         });
+        let sweeps = self.sweep_modes.iter().fold(Value::object(), |o, s| {
+            o.with(
+                &s.name,
+                Value::object()
+                    .with("cells", Value::u64(s.cells))
+                    .with("accesses", Value::u64(s.accesses))
+                    .with("wall_secs", Value::f64(s.wall_secs))
+                    .with("accesses_per_sec", Value::f64(s.accesses_per_sec)),
+            )
+        });
         Value::object()
             .with("schema", Value::str("slip-bench/1"))
-            .with("mode", Value::str(if self.quick { "quick" } else { "full" }))
+            .with(
+                "mode",
+                Value::str(if self.quick { "quick" } else { "full" }),
+            )
             .with("kernels_ns_per_iter", kernels)
             .with("systems", systems)
+            .with("sweep_modes", sweeps)
             .with(
                 "suite_accesses_per_sec",
                 Value::f64(self.suite_accesses_per_sec),
@@ -230,6 +270,47 @@ fn kernel_benches(quick: bool) -> Vec<KernelResult> {
             ),
         });
     }
+
+    // Trace synthesis vs materialized replay: the per-access generation
+    // cost the pipeline overlaps (pipelined) or amortizes across a
+    // group (shared), and the unpack cost that replaces it. Their ratio
+    // bounds the sweep-mode win.
+    {
+        let spec = workloads::workload("gcc").expect("known benchmark");
+        let seed = config.seed;
+        let len: u64 = 1 << 16;
+        let mut trace = spec.trace(len, seed);
+        out.push(KernelResult {
+            name: "trace/generate".to_owned(),
+            ns_per_iter: calibrated_ns(
+                || match trace.next() {
+                    Some(a) => a,
+                    None => {
+                        trace = spec.trace(len, seed);
+                        trace.next().expect("nonempty trace")
+                    }
+                },
+                target,
+                samples,
+            ),
+        });
+        let buffer = TraceBuffer::materialize(spec.trace(len, seed));
+        let mut replay = buffer.iter();
+        out.push(KernelResult {
+            name: "trace/replay".to_owned(),
+            ns_per_iter: calibrated_ns(
+                || match replay.next() {
+                    Some(a) => a,
+                    None => {
+                        replay = buffer.iter();
+                        replay.next().expect("nonempty buffer")
+                    }
+                },
+                target,
+                samples,
+            ),
+        });
+    }
     out
 }
 
@@ -277,19 +358,58 @@ fn system_benches(quick: bool) -> Vec<SystemResult> {
         .collect()
 }
 
+/// The trace-mode A/B: one small benchmark × policy grid, executed end
+/// to end (trace handling included, `--jobs 1`) under each
+/// [`TraceMode`], repetitions interleaved round-robin so every mode
+/// sees the same measurement window. Timed on the wall clock — the
+/// pipelined mode's generation runs on a producer thread the calling
+/// thread's CPU clock cannot see.
+fn sweep_mode_benches(quick: bool) -> Vec<SweepModeResult> {
+    let accesses: u64 = if quick { 40_000 } else { 200_000 };
+    let reps = if quick { 3 } else { 5 };
+    let options = || {
+        SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc", "soplex"])
+            .with_accesses(accesses)
+    };
+    let cells = (options().benchmarks.len() * options().policies.len()) as u64;
+    let modes = [TraceMode::Inline, TraceMode::Pipelined, TraceMode::Shared];
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        for (i, mode) in modes.iter().enumerate() {
+            let sweep = SweepConfig::serial().with_trace_mode(*mode);
+            let t = Instant::now();
+            let suite = SuiteResults::run_with(options(), &sweep).expect("journal-less sweep");
+            let secs = t.elapsed().as_secs_f64();
+            std::hint::black_box(&suite);
+            best[i] = best[i].min(secs);
+        }
+    }
+    modes
+        .iter()
+        .zip(best)
+        .map(|(mode, secs)| SweepModeResult {
+            name: format!("sweep/{}", mode.label()),
+            cells,
+            accesses: cells * accesses,
+            wall_secs: secs,
+            accesses_per_sec: (cells * accesses) as f64 / secs,
+        })
+        .collect()
+}
+
 /// Runs the whole suite. `quick` trades precision for CI speed.
 pub fn run(quick: bool) -> BenchReport {
     let kernels = kernel_benches(quick);
     let systems = system_benches(quick);
-    let geomean = systems
-        .iter()
-        .map(|s| s.accesses_per_sec.ln())
-        .sum::<f64>()
-        / systems.len() as f64;
+    let sweep_modes = sweep_mode_benches(quick);
+    let geomean =
+        systems.iter().map(|s| s.accesses_per_sec.ln()).sum::<f64>() / systems.len() as f64;
     BenchReport {
         quick,
         kernels,
         systems,
+        sweep_modes,
         suite_accesses_per_sec: geomean.exp(),
     }
 }
@@ -299,7 +419,9 @@ pub fn run(quick: bool) -> BenchReport {
 /// committed before/after file, falling back to a bare report.
 pub fn baseline_suite_rate(baseline: &Value, quick: bool) -> Option<f64> {
     let section = if quick {
-        baseline.get("after_quick").or_else(|| baseline.get("after"))
+        baseline
+            .get("after_quick")
+            .or_else(|| baseline.get("after"))
     } else {
         baseline.get("after")
     }
@@ -331,10 +453,27 @@ mod tests {
                 wall_secs: 0.5,
                 accesses_per_sec: 2000.0,
             }],
+            sweep_modes: vec![SweepModeResult {
+                name: "sweep/shared".into(),
+                cells: 10,
+                accesses: 10_000,
+                wall_secs: 2.0,
+                accesses_per_sec: 5000.0,
+            }],
             suite_accesses_per_sec: 2000.0,
         };
         let v = report.to_value();
         assert_eq!(v.get("mode").unwrap().as_str(), Some("quick"));
+        let sweeps = v.get("sweep_modes").unwrap();
+        assert_eq!(
+            sweeps
+                .get("sweep/shared")
+                .unwrap()
+                .get("accesses_per_sec")
+                .unwrap()
+                .as_f64(),
+            Some(5000.0)
+        );
         assert_eq!(
             v.get("suite_accesses_per_sec").unwrap().as_f64(),
             Some(2000.0)

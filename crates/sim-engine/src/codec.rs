@@ -68,9 +68,7 @@ fn encode_stats(s: &CacheStats) -> Value {
 
 fn decode_stats(v: &Value) -> Option<CacheStats> {
     let field = |k: &str| v.get(k).and_then(Value::as_u64);
-    let fixed4 = |k: &str| -> Option<[u64; 4]> {
-        decode_u64_array(v.get(k)?)?.try_into().ok()
-    };
+    let fixed4 = |k: &str| -> Option<[u64; 4]> { decode_u64_array(v.get(k)?)?.try_into().ok() };
     Some(CacheStats {
         demand_accesses: field("demand_accesses")?,
         demand_hits: field("demand_hits")?,
@@ -227,11 +225,7 @@ mod tests {
     #[test]
     fn decode_rejects_schema_drift() {
         let spec = workloads::workload("gcc").unwrap();
-        let r = run_workload(
-            SystemConfig::paper_45nm(PolicyKind::Baseline),
-            &spec,
-            5_000,
-        );
+        let r = run_workload(SystemConfig::paper_45nm(PolicyKind::Baseline), &spec, 5_000);
         let good = encode_result(&r);
         assert!(decode_result(&good).is_some());
         // Remove a field: decode must fail, not panic.
@@ -245,13 +239,35 @@ mod tests {
     }
 
     #[test]
+    fn wall_time_stays_out_of_the_payload_and_survives_resume() {
+        // `reset_measurements()` zeroes counters but the driver stamps
+        // `wall_time_secs` afterwards — the payload must not absorb that
+        // host-specific asymmetry, or resumed sweeps would stop being
+        // bit-identical to fresh ones.
+        let spec = workloads::workload("gcc").unwrap();
+        let mut r = run_workload(SystemConfig::paper_45nm(PolicyKind::SlipAbp), &spec, 5_000);
+        r.wall_time_secs = 1.234;
+        let payload = encode_result(&r).to_json();
+        // No timing-derived field may appear in the journal payload.
+        for key in ["wall_time", "wall_secs", "accesses_per_sec"] {
+            assert!(!payload.contains(key), "payload leaks {key:?}: {payload}");
+        }
+        // Decoding (a journal resume) yields an untimed result whose
+        // re-encoding is byte-identical to the timed original's.
+        let decoded = decode_result(&Value::parse(&payload).unwrap()).unwrap();
+        assert_eq!(decoded.wall_time_secs, 0.0);
+        assert_eq!(encode_result(&decoded).to_json(), payload);
+        // The timing fields live in the metrics object instead, where
+        // a zero-wall cell reports rate 0 rather than dividing by zero.
+        let m = result_metrics(&r, std::time::Duration::ZERO);
+        assert_eq!(m.get("accesses_per_sec").unwrap().as_f64().unwrap(), 0.0);
+        assert_eq!(m.get("sim_wall_secs").unwrap().as_f64().unwrap(), 1.234);
+    }
+
+    #[test]
     fn metrics_carry_the_progress_keys() {
         let spec = workloads::workload("gcc").unwrap();
-        let r = run_workload(
-            SystemConfig::paper_45nm(PolicyKind::Baseline),
-            &spec,
-            5_000,
-        );
+        let r = run_workload(SystemConfig::paper_45nm(PolicyKind::Baseline), &spec, 5_000);
         let m = result_metrics(&r, std::time::Duration::from_millis(50));
         assert!(m.get("accesses_per_sec").unwrap().as_f64().unwrap() > 0.0);
         let l2 = m.get("l2_hit_rate").unwrap().as_f64().unwrap();

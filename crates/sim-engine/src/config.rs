@@ -348,7 +348,10 @@ mod tests {
         // Energies increase with distance and tech lines were updated.
         assert!(c.tech.l2.sublevel_access[0] < c.tech.l2.sublevel_access[1]);
         assert_eq!(c.tech.l2.sublevel_lines, vec![2048, 2048]);
-        assert_eq!(c.tech.l3.cumulative_lines(), vec![8192, 16384, 24576, 32768]);
+        assert_eq!(
+            c.tech.l3.cumulative_lines(),
+            vec![8192, 16384, 24576, 32768]
+        );
         // Latencies are monotone.
         assert!(c.l2_sublevel_latency.windows(2).all(|w| w[0] <= w[1]));
         assert!(c.l3_sublevel_latency.windows(2).all(|w| w[0] <= w[1]));

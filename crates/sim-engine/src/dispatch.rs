@@ -124,7 +124,12 @@ impl ReplacementPolicy for AnyReplacement {
     }
 
     #[inline]
-    fn choose_victim(&mut self, set_index: usize, set: &mut [LineState], candidates: WayMask) -> usize {
+    fn choose_victim(
+        &mut self,
+        set_index: usize,
+        set: &mut [LineState],
+        candidates: WayMask,
+    ) -> usize {
         each_replacement!(self, p => p.choose_victim(set_index, set, candidates))
     }
 
@@ -174,6 +179,9 @@ mod tests {
             l.lru_seq = 10 - i as u64;
         }
         let victim = any_r.choose_victim(0, &mut set, WayMask::from_bits(0b1111));
-        assert_eq!(victim, Lru::new().choose_victim(0, &mut set, WayMask::from_bits(0b1111)));
+        assert_eq!(
+            victim,
+            Lru::new().choose_victim(0, &mut set, WayMask::from_bits(0b1111))
+        );
     }
 }

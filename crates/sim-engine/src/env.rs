@@ -4,13 +4,16 @@
 //! goes through here, so defaults and parse behavior (trimmed input,
 //! garbage falls back to the default) are defined exactly once:
 //!
-//! | variable        | meaning                              | default |
-//! |-----------------|--------------------------------------|---------|
-//! | `SLIP_ACCESSES` | measured accesses per benchmark      | 2,000,000 |
-//! | `SLIP_WARMUP`   | unmeasured warmup accesses           | 0 |
-//! | `SLIP_JOBS`     | sweep worker count                   | available parallelism |
-//! | `SLIP_JOURNAL`  | run-journal path (enables resume)    | unset (off) |
+//! | variable              | meaning                              | default |
+//! |-----------------------|--------------------------------------|---------|
+//! | `SLIP_ACCESSES`       | measured accesses per benchmark      | 2,000,000 |
+//! | `SLIP_WARMUP`         | unmeasured warmup accesses           | 0 |
+//! | `SLIP_JOBS`           | sweep worker count                   | available parallelism |
+//! | `SLIP_JOURNAL`        | run-journal path (enables resume)    | unset (off) |
+//! | `SLIP_TRACE_MODE`     | trace execution: `inline` \| `pipelined` \| `shared` | `shared` |
+//! | `SLIP_TRACE_CACHE_MB` | shared-trace cache budget in MiB (0 disables sharing) | 1024 |
 
+use crate::pipeline::TraceMode;
 use std::path::PathBuf;
 use std::str::FromStr;
 
@@ -44,6 +47,25 @@ pub fn journal() -> Option<PathBuf> {
     std::env::var_os("SLIP_JOURNAL")
         .filter(|s| !s.is_empty())
         .map(PathBuf::from)
+}
+
+/// Default shared-trace cache budget in MiB (128 M accesses' worth).
+pub const DEFAULT_TRACE_CACHE_MB: u64 = 1024;
+
+/// Shared-trace cache budget in MiB (`SLIP_TRACE_CACHE_MB`). Groups
+/// whose materialized trace would exceed the remaining budget fall back
+/// to pipelined regeneration; 0 disables sharing entirely.
+pub fn trace_cache_mb() -> u64 {
+    parse_var("SLIP_TRACE_CACHE_MB").unwrap_or(DEFAULT_TRACE_CACHE_MB)
+}
+
+/// Trace execution mode (`SLIP_TRACE_MODE`); unknown or unset values
+/// mean the default, [`TraceMode::Shared`].
+pub fn trace_mode() -> TraceMode {
+    std::env::var("SLIP_TRACE_MODE")
+        .ok()
+        .and_then(|s| TraceMode::parse(&s))
+        .unwrap_or(TraceMode::Shared)
 }
 
 #[cfg(test)]

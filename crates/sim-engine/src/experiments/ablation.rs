@@ -227,11 +227,26 @@ pub struct SamplingRow {
 /// N_samp = 16 / N_stab = 256.
 pub fn sampling_sweep(accesses: u64, benchmarks: &[&str]) -> Vec<SamplingRow> {
     let configs = [
-        SamplingConfig { n_samp: 4, n_stab: 64 },
-        SamplingConfig { n_samp: 16, n_stab: 64 },
-        SamplingConfig { n_samp: 16, n_stab: 256 },
-        SamplingConfig { n_samp: 64, n_stab: 1024 },
-        SamplingConfig { n_samp: 4, n_stab: 1024 },
+        SamplingConfig {
+            n_samp: 4,
+            n_stab: 64,
+        },
+        SamplingConfig {
+            n_samp: 16,
+            n_stab: 64,
+        },
+        SamplingConfig {
+            n_samp: 16,
+            n_stab: 256,
+        },
+        SamplingConfig {
+            n_samp: 64,
+            n_stab: 1024,
+        },
+        SamplingConfig {
+            n_samp: 4,
+            n_stab: 1024,
+        },
     ];
     configs
         .iter()
@@ -269,7 +284,13 @@ pub fn sampling_table(rows: &[SamplingRow]) -> Table {
     let mut t = Table::new(
         "Ablation (paper §4.2): time-based sampling probabilities \
          (paper: N_samp=16, N_stab=256 -> ~6% of TLB misses fetch metadata)",
-        &["N_samp", "N_stab", "fetch fraction", "L2 saving", "L3 saving"],
+        &[
+            "N_samp",
+            "N_stab",
+            "fetch fraction",
+            "L2 saving",
+            "L3 saving",
+        ],
     );
     for r in rows {
         t.row(vec![
@@ -319,8 +340,7 @@ pub fn inclusion_ablation(accesses: u64, benchmarks: &[&str]) -> Vec<InclusionRo
                 inclusive,
                 l2_hit_rate: r.l2_stats.demand_hit_rate(),
                 speedup: r.speedup_vs(&base) - 1.0,
-                dram_traffic: r.dram_total_traffic() as f64
-                    / base.dram_demand_traffic() as f64,
+                dram_traffic: r.dram_total_traffic() as f64 / base.dram_demand_traffic() as f64,
             });
         }
     }
@@ -337,7 +357,12 @@ pub fn inclusion_table(rows: &[InclusionRow]) -> Table {
     for r in rows {
         t.row(vec![
             r.bench.clone(),
-            if r.inclusive { "inclusive" } else { "non-inclusive" }.to_owned(),
+            if r.inclusive {
+                "inclusive"
+            } else {
+                "non-inclusive"
+            }
+            .to_owned(),
             pct(r.l2_hit_rate),
             pct(r.speedup),
             pct(r.dram_traffic),
@@ -376,8 +401,7 @@ mod tests {
         let rows = rd_block_sweep(300_000, &["xalancbmk"], &[11, 12, 13]);
         assert_eq!(rows.len(), 3);
         assert!(
-            rows[0].metadata_fetches_per_kilo_access
-                > rows[2].metadata_fetches_per_kilo_access,
+            rows[0].metadata_fetches_per_kilo_access > rows[2].metadata_fetches_per_kilo_access,
             "{rows:?}"
         );
         assert!(!rd_block_table(&rows).render().is_empty());

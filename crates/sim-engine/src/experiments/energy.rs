@@ -237,10 +237,7 @@ pub fn apply_topology(mut options: SuiteOptions, topology: Topology) -> SuiteOpt
                 }
             }
             Topology::HTree => {
-                let worst = *level
-                    .sublevel_access
-                    .last()
-                    .expect("levels have sublevels");
+                let worst = *level.sublevel_access.last().expect("levels have sublevels");
                 for e in &mut level.sublevel_access {
                     *e = worst;
                 }
@@ -395,14 +392,8 @@ mod tests {
     fn htree_costs_more_energy() {
         let rows = htree_comparison(80_000, &["gcc"]);
         let avg = rows.last().unwrap();
-        assert!(
-            avg.l2_increase > 0.15 && avg.l2_increase < 0.6,
-            "{avg:?}"
-        );
-        assert!(
-            avg.l3_increase > 0.15 && avg.l3_increase < 0.6,
-            "{avg:?}"
-        );
+        assert!(avg.l2_increase > 0.15 && avg.l2_increase < 0.6, "{avg:?}");
+        assert!(avg.l3_increase > 0.15 && avg.l3_increase < 0.6, "{avg:?}");
         assert!(!htree_table(&rows).render().is_empty());
     }
 
@@ -416,6 +407,11 @@ mod tests {
             .with_policies(&[PolicyKind::Baseline])
             .with_accesses(50_000);
         let uniform = apply_topology(opts, Topology::HierarchicalBusSetInterleaved);
-        assert!(uniform.tech.l2.sublevel_access.windows(2).all(|w| w[0] == w[1]));
+        assert!(uniform
+            .tech
+            .l2
+            .sublevel_access
+            .windows(2)
+            .all(|w| w[0] == w[1]));
     }
 }

@@ -96,7 +96,12 @@ pub fn tab02_table(rows: &[Tab02Row]) -> Table {
             ),
             None => ("-".into(), "-".into()),
         };
-        t.row(vec![r.name.clone(), format!("{:.2}", r.paper_pj), model, err]);
+        t.row(vec![
+            r.name.clone(),
+            format!("{:.2}", r.paper_pj),
+            model,
+            err,
+        ]);
     }
     t
 }
@@ -143,7 +148,10 @@ pub fn eou_table(s: &EouSummary) -> Table {
         "energy per op".into(),
         s.cost.energy_per_op.to_string(),
     ]);
-    t.row(vec!["area (mm^2)".into(), format!("{:.5}", s.cost.area_mm2)]);
+    t.row(vec![
+        "area (mm^2)".into(),
+        format!("{:.5}", s.cost.area_mm2),
+    ]);
     t.row(vec![
         "energy vs LLC access".into(),
         format!("{:.2}%", s.energy_vs_llc_access * 100.0),

@@ -154,8 +154,7 @@ pub fn partition_comparison(accesses_per_core: u64, mixes: &[(&str, &str)]) -> V
             mix: format!("{a}+{b}"),
             shared_saving: 1.0 - shared.l3_energy / base.l3_energy,
             partitioned_saving: 1.0 - part.l3_energy / base.l3_energy,
-            shared_dram: shared.dram_total_traffic as f64 / base.dram_demand_traffic as f64
-                - 1.0,
+            shared_dram: shared.dram_total_traffic as f64 / base.dram_demand_traffic as f64 - 1.0,
             partitioned_dram: part.dram_total_traffic as f64 / base.dram_demand_traffic as f64
                 - 1.0,
         });
@@ -170,12 +169,7 @@ pub fn partition_comparison(accesses_per_core: u64, mixes: &[(&str, &str)]) -> V
                 .collect::<Vec<_>>(),
         ),
         shared_dram: mean(&rows.iter().map(|r| r.shared_dram).collect::<Vec<_>>()),
-        partitioned_dram: mean(
-            &rows
-                .iter()
-                .map(|r| r.partitioned_dram)
-                .collect::<Vec<_>>(),
-        ),
+        partitioned_dram: mean(&rows.iter().map(|r| r.partitioned_dram).collect::<Vec<_>>()),
     });
     rows
 }

@@ -86,7 +86,13 @@ pub fn scan_stressor() -> WorkloadSpec {
             fraction: 1.0,
             patterns: vec![
                 PatternSpec::new(PatternKind::Loop { region_kb: 48 }, 55, 0.2),
-                PatternSpec::new(PatternKind::Scan { region_kb: 4 * 1024 }, 45, 0.2),
+                PatternSpec::new(
+                    PatternKind::Scan {
+                        region_kb: 4 * 1024,
+                    },
+                    45,
+                    0.2,
+                ),
             ],
         }],
     )

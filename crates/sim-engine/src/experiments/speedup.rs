@@ -90,10 +90,7 @@ mod tests {
             assert!(s.abs() < 0.12, "{avg:?}");
         }
         // SLIP+ABP is not slower than the NUCA policies on average.
-        assert!(
-            avg.speedups[3] >= avg.speedups[0] - 0.01,
-            "{avg:?}"
-        );
+        assert!(avg.speedups[3] >= avg.speedups[0] - 0.01, "{avg:?}");
         assert!(!fig13_table(&rows).render().is_empty());
     }
 }

@@ -11,12 +11,17 @@
 use crate::codec;
 use crate::config::{PolicyKind, SystemConfig};
 use crate::env;
+use crate::pipeline::{run_workload_from_buffer, run_workload_pipelined, TraceMode};
 use crate::result::SimResult;
 use crate::system::run_workload_with_warmup;
 use energy_model::TechnologyParams;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use sweep_runner::json::Value;
 use sweep_runner::SweepOptions;
+use workloads::TraceBuffer;
 
 /// Default trace length per benchmark (overridable with the
 /// `SLIP_ACCESSES` environment variable).
@@ -136,15 +141,25 @@ pub struct SweepConfig {
     pub journal: Option<PathBuf>,
     /// Suppress stderr progress lines.
     pub quiet: bool,
+    /// How cells obtain their access streams. All three modes are
+    /// bit-identical; they differ only in throughput.
+    pub trace_mode: TraceMode,
+    /// Shared-trace cache budget in MiB. A benchmark group whose
+    /// materialized trace would exceed the remaining budget falls back
+    /// to pipelined regeneration; 0 disables sharing entirely.
+    pub trace_cache_mb: u64,
 }
 
 impl SweepConfig {
-    /// Reads `SLIP_JOBS` / `SLIP_JOURNAL`; progress lines on.
+    /// Reads `SLIP_JOBS` / `SLIP_JOURNAL` / `SLIP_TRACE_MODE` /
+    /// `SLIP_TRACE_CACHE_MB`; progress lines on.
     pub fn from_env() -> Self {
         SweepConfig {
             jobs: env::jobs(),
             journal: env::journal(),
             quiet: false,
+            trace_mode: env::trace_mode(),
+            trace_cache_mb: env::trace_cache_mb(),
         }
     }
 
@@ -154,6 +169,8 @@ impl SweepConfig {
             jobs: 1,
             journal: None,
             quiet: true,
+            trace_mode: TraceMode::Shared,
+            trace_cache_mb: env::DEFAULT_TRACE_CACHE_MB,
         }
     }
 
@@ -163,7 +180,73 @@ impl SweepConfig {
             jobs,
             journal: None,
             quiet: true,
+            trace_mode: TraceMode::Shared,
+            trace_cache_mb: env::DEFAULT_TRACE_CACHE_MB,
         }
+    }
+
+    /// Overrides the trace execution mode.
+    pub fn with_trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+}
+
+/// A materialized group: the seed the trace was generated with and the
+/// shared buffer itself.
+type GroupSlot = (u64, Arc<TraceBuffer>);
+
+/// Per-sweep cache of materialized traces, one slot per benchmark
+/// group. Every policy cell of one benchmark consumes the identical
+/// (workload, seed, warmup+len) stream, so the first cell of a group
+/// to execute materializes it once and the rest replay the shared
+/// buffer. Cells restored from the journal never touch the cache.
+struct TraceCache {
+    /// One lazily-filled slot per group: `None` once a group has been
+    /// ruled out (over budget), otherwise the seed it was materialized
+    /// with and the shared buffer.
+    groups: Vec<OnceLock<Option<GroupSlot>>>,
+    /// Remaining byte budget, debited as groups materialize.
+    budget: AtomicU64,
+}
+
+impl TraceCache {
+    fn new(groups: usize, budget_mb: u64) -> TraceCache {
+        TraceCache {
+            groups: (0..groups).map(|_| OnceLock::new()).collect(),
+            budget: AtomicU64::new(budget_mb.saturating_mul(1 << 20)),
+        }
+    }
+
+    /// The group's shared buffer, materializing on first use if
+    /// `accesses` packed words fit the remaining budget. `None` means
+    /// the caller must regenerate (group over budget, or — defensively
+    /// — a seed mismatch within the group).
+    fn buffer_for(
+        &self,
+        group: usize,
+        seed: u64,
+        accesses: u64,
+        materialize: impl FnOnce() -> TraceBuffer,
+    ) -> Option<Arc<TraceBuffer>> {
+        let slot = self.groups[group].get_or_init(|| {
+            self.take_budget(TraceBuffer::bytes_for(accesses))
+                .then(|| (seed, Arc::new(materialize())))
+        });
+        match slot {
+            Some((s, buf)) if *s == seed => Some(Arc::clone(buf)),
+            _ => None,
+        }
+    }
+
+    /// Atomically debits `bytes` from the budget; `false` (nothing
+    /// debited) when it does not fit.
+    fn take_budget(&self, bytes: u64) -> bool {
+        self.budget
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
+                left.checked_sub(bytes)
+            })
+            .is_ok()
     }
 }
 
@@ -198,36 +281,63 @@ impl SuiteResults {
             .iter()
             .flat_map(|&b| options.policies.iter().map(move |&p| (b, p)))
             .collect();
-        let keys: Vec<String> = cells
-            .iter()
-            .map(|&(b, p)| options.cell_key(b, p))
-            .collect();
+        let keys: Vec<String> = cells.iter().map(|&(b, p)| options.cell_key(b, p)).collect();
         let sweep_options = SweepOptions {
             jobs: sweep.jobs,
             journal: sweep.journal.clone(),
             quiet: sweep.quiet,
             label: "suite".to_owned(),
         };
+        // Cells are benchmark-major, so the cells of one benchmark
+        // group are exactly `policies.len()` consecutive indices and
+        // share the identical (workload, seed, warmup+len) stream.
+        let per_group = options.policies.len().max(1);
+        let cache = TraceCache::new(options.benchmarks.len(), sweep.trace_cache_mb);
+        let total_accesses = options.warmup + options.accesses;
         let ran = sweep_runner::run_sweep(
             &keys,
             &sweep_options,
             |i| {
                 let (bench, policy) = cells[i];
                 let spec = workloads::workload(bench).expect("known benchmark");
-                run_workload_with_warmup(
-                    options.cell_config(policy),
-                    &spec,
-                    options.accesses,
-                    options.warmup,
-                )
+                let config = options.cell_config(policy);
+                let pipelined = |config: SystemConfig| {
+                    run_workload_pipelined(config, &spec, options.accesses, options.warmup)
+                };
+                match sweep.trace_mode {
+                    TraceMode::Inline => (
+                        run_workload_with_warmup(config, &spec, options.accesses, options.warmup),
+                        None,
+                    ),
+                    TraceMode::Pipelined => (pipelined(config), Some("pipelined")),
+                    TraceMode::Shared => {
+                        let seed = config.seed;
+                        let buffer = cache.buffer_for(i / per_group, seed, total_accesses, || {
+                            TraceBuffer::materialize(spec.trace(total_accesses, seed))
+                        });
+                        match buffer {
+                            Some(buf) => (
+                                run_workload_from_buffer(config, spec.name(), &buf, options.warmup),
+                                Some("shared"),
+                            ),
+                            None => (pipelined(config), Some("pipelined")),
+                        }
+                    }
+                }
             },
-            |r, wall| (codec::result_metrics(r, wall), codec::encode_result(r)),
-            codec::decode_result,
+            |(r, trace_source), wall| {
+                let mut metrics = codec::result_metrics(r, wall);
+                if let Some(source) = *trace_source {
+                    metrics = metrics.with("trace_source", Value::str(source));
+                }
+                (metrics, codec::encode_result(r))
+            },
+            |p| codec::decode_result(p).map(|r| (r, None)),
         )?;
         let results = cells
             .into_iter()
             .zip(ran)
-            .map(|((b, p), r)| ((b.to_owned(), p), r))
+            .map(|((b, p), (r, _))| ((b.to_owned(), p), r))
             .collect();
         Ok(SuiteResults { options, results })
     }
@@ -339,7 +449,9 @@ mod tests {
     fn cell_keys_fingerprint_all_inputs() {
         let a = SuiteOptions::paper_full().with_accesses(1000);
         let b = SuiteOptions::paper_full().with_accesses(2000);
-        let c = SuiteOptions::paper_full().with_accesses(1000).with_bin_bits(6);
+        let c = SuiteOptions::paper_full()
+            .with_accesses(1000)
+            .with_bin_bits(6);
         let k = |o: &SuiteOptions| o.cell_key("gcc", PolicyKind::Slip);
         assert_ne!(k(&a), k(&b));
         assert_ne!(k(&a), k(&c));

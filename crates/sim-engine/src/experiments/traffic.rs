@@ -287,13 +287,13 @@ mod tests {
         }
         // lbm streams: visible L2 bypassing even on this short trace
         // (pages need ~16 TLB misses to stabilize into the ABP).
-        let lbm_l2 = rows
-            .iter()
-            .find(|r| r.bench == "lbm" && r.is_l2)
-            .unwrap();
+        let lbm_l2 = rows.iter().find(|r| r.bench == "lbm" && r.is_l2).unwrap();
         assert!(lbm_l2.classes[0] > 0.05, "{lbm_l2:?}");
         // The paper: L2 bypassing exceeds L3 bypassing on average.
-        let avg_l2 = rows.iter().find(|r| r.bench == "average" && r.is_l2).unwrap();
+        let avg_l2 = rows
+            .iter()
+            .find(|r| r.bench == "average" && r.is_l2)
+            .unwrap();
         let avg_l3 = rows
             .iter()
             .find(|r| r.bench == "average" && !r.is_l2)

@@ -35,11 +35,15 @@ pub mod dispatch;
 pub mod env;
 pub mod experiments;
 pub mod multicore;
+pub mod pipeline;
 pub mod report;
 pub mod result;
 pub mod system;
 
 pub use config::{PolicyKind, ReplacementKind, SystemConfig};
 pub use experiments::suite::SweepConfig;
+pub use pipeline::{
+    run_mix_pipelined, run_workload_from_buffer, run_workload_pipelined, TraceMode,
+};
 pub use result::SimResult;
 pub use system::{run_workload, SingleCoreSystem};

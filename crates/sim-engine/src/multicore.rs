@@ -12,7 +12,10 @@ use cache_sim::{
 use energy_model::{Energy, EnergyAccount};
 use mem_substrate::{Dram, SlipMmu};
 use nuca_baselines::{LruPea, NuRapid, PeaLru};
-use slip_core::{bin_for_distance, interleaved_partitions, LevelModelParams, PartitionedSlip, SlipLevel, SlipPlacement};
+use slip_core::{
+    bin_for_distance, interleaved_partitions, LevelModelParams, PartitionedSlip, SlipLevel,
+    SlipPlacement,
+};
 use workloads::WorkloadSpec;
 
 const METADATA_BASE_LINE: u64 = 1 << 50;
@@ -288,7 +291,14 @@ impl DualCoreSystem {
         }
     }
 
-    fn fill_l2(&mut self, core_idx: usize, line: LineAddr, codes: [u8; 2], sampling: bool, page: PageId) {
+    fn fill_l2(
+        &mut self,
+        core_idx: usize,
+        line: LineAddr,
+        codes: [u8; 2],
+        sampling: bool,
+        page: PageId,
+    ) {
         let core = &mut self.cores[core_idx];
         let mut req = FillRequest::new(line);
         req.slip_codes = codes;
@@ -303,16 +313,26 @@ impl DualCoreSystem {
         }
     }
 
-    fn fill_l3(&mut self, core_idx: usize, line: LineAddr, codes: [u8; 2], sampling: bool, page: PageId) {
+    fn fill_l3(
+        &mut self,
+        core_idx: usize,
+        line: LineAddr,
+        codes: [u8; 2],
+        sampling: bool,
+        page: PageId,
+    ) {
         let mut req = FillRequest::new(line);
         req.slip_codes = codes;
         req.sampling = sampling;
         req.signature = (page.0 & 0x3FFF) as u16;
         let now = self.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
         let idx = core_idx % self.l3_policies.len();
-        let out = self
-            .l3
-            .fill(req, now, self.l3_policies[idx].as_mut(), self.l3_repl.as_mut());
+        let out = self.l3.fill(
+            req,
+            now,
+            self.l3_policies[idx].as_mut(),
+            self.l3_repl.as_mut(),
+        );
         for _wb in out.writebacks {
             self.dram.write_line();
         }
@@ -398,9 +418,12 @@ impl DualCoreSystem {
         req.signature = 0xFFFF;
         let now = self.cores.iter().map(|c| c.cycles).max().unwrap_or(0);
         let idx = core_idx % self.l3_policies.len();
-        let out = self
-            .l3
-            .fill(req, now, self.l3_policies[idx].as_mut(), self.l3_repl.as_mut());
+        let out = self.l3.fill(
+            req,
+            now,
+            self.l3_policies[idx].as_mut(),
+            self.l3_repl.as_mut(),
+        );
         for _wb in out.writebacks {
             self.dram.write_line();
         }
@@ -411,7 +434,10 @@ impl DualCoreSystem {
         if core.l2.writeback_access(meta_line, core.l2_policy.as_mut()) {
             return;
         }
-        if self.l3.writeback_access(meta_line, self.l3_policies[0].as_mut()) {
+        if self
+            .l3
+            .writeback_access(meta_line, self.l3_policies[0].as_mut())
+        {
             return;
         }
         self.dram.write_metadata();
@@ -570,8 +596,7 @@ mod tests {
         let r = run_mix(cfg, &spec_a, &spec_b, 20_000);
         // Both cores' misses land in the one shared L3.
         assert_eq!(
-            r.l3_stats.demand_accesses,
-            r.l2_stats.demand_misses,
+            r.l3_stats.demand_accesses, r.l2_stats.demand_misses,
             "shared L3 sees exactly the L2 miss stream"
         );
     }

@@ -1,0 +1,331 @@
+//! The trace pipeline: producer/consumer overlapped and shared-buffer
+//! execution modes for the simulation drivers.
+//!
+//! The seed execution model synthesizes each cell's access stream one
+//! [`Access`](cache_sim::Access) at a time, inline with simulation.
+//! This module adds two alternatives that produce **bit-identical**
+//! [`SimResult`]s (golden-tested in `tests/trace_pipeline.rs`):
+//!
+//! * **Pipelined** ([`run_workload_pipelined`], [`run_mix_pipelined`]):
+//!   a dedicated producer thread materializes the trace into a small
+//!   bounded ring of packed chunk buffers ([`RING_BUFFERS`] ×
+//!   [`CHUNK_ACCESSES`]) while the simulator drains them, overlapping
+//!   generation with simulation. The ring buffers round-trip between
+//!   producer and consumer over two bounded channels, so the steady
+//!   state allocates nothing. The two-core driver gets one producer
+//!   per core feeding the access interleaver.
+//! * **Shared buffer** ([`run_workload_from_buffer`]): the trace was
+//!   materialized once into a [`TraceBuffer`] (typically held in an
+//!   `Arc` and shared by every cell of a sweep group) and is replayed
+//!   by the cheap unpack loop, eliminating regeneration entirely.
+//!
+//! [`TraceMode`] selects between the three models where a driver wants
+//! the choice (the suite sweep, the bench harness).
+
+use crate::config::SystemConfig;
+use crate::multicore::{DualCoreSystem, MulticoreResult};
+use crate::result::SimResult;
+use crate::system::SingleCoreSystem;
+use cache_sim::Access;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::time::Instant;
+use workloads::buffer::{pack_access, unpack_access, DEFAULT_CHUNK_ACCESSES};
+use workloads::{Trace, TraceBuffer, WorkloadSpec};
+
+/// Accesses per pipeline chunk (256 KiB of packed words).
+pub const CHUNK_ACCESSES: usize = DEFAULT_CHUNK_ACCESSES;
+
+/// Chunk buffers in flight per producer: double-buffered — the
+/// producer fills one chunk while the simulator drains the other.
+pub const RING_BUFFERS: usize = 2;
+
+/// How a driver obtains each cell's access stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Synthesize inline with simulation (the seed behavior).
+    Inline,
+    /// Overlap synthesis with simulation via a producer thread.
+    Pipelined,
+    /// Materialize once per (workload, seed, length) group and share
+    /// the buffer across cells, falling back to [`Pipelined`]
+    /// (`TraceMode::Pipelined`) when the group would exceed the trace
+    /// cache budget.
+    Shared,
+}
+
+impl TraceMode {
+    /// Parses a CLI/env spelling; `None` for unknown ones.
+    pub fn parse(s: &str) -> Option<TraceMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "inline" => Some(TraceMode::Inline),
+            "pipelined" | "pipeline" => Some(TraceMode::Pipelined),
+            "shared" => Some(TraceMode::Shared),
+            _ => None,
+        }
+    }
+
+    /// The canonical spelling.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceMode::Inline => "inline",
+            TraceMode::Pipelined => "pipelined",
+            TraceMode::Shared => "shared",
+        }
+    }
+}
+
+/// Producer loop: drains `trace` into recycled ring buffers, blocking
+/// when the simulator is more than [`RING_BUFFERS`] chunks behind.
+fn produce(mut trace: Trace, full: SyncSender<Vec<u64>>, free: Receiver<Vec<u64>>) {
+    while let Ok(mut buf) = free.recv() {
+        buf.clear();
+        while buf.len() < buf.capacity() {
+            match trace.next() {
+                Some(access) => buf.push(pack_access(access)),
+                None => break,
+            }
+        }
+        let exhausted = buf.len() < buf.capacity();
+        if buf.is_empty() || full.send(buf).is_err() {
+            return;
+        }
+        if exhausted {
+            return;
+        }
+    }
+}
+
+/// Consumer side of one producer ring: an [`Access`] iterator that
+/// recv's filled chunks and recycles drained ones. Dropping it releases
+/// the ring; the producer then exits on its next send/recv.
+struct PipelinedTrace {
+    full: Receiver<Vec<u64>>,
+    free: SyncSender<Vec<u64>>,
+    current: Vec<u64>,
+    pos: usize,
+}
+
+impl Iterator for PipelinedTrace {
+    type Item = Access;
+
+    #[inline]
+    fn next(&mut self) -> Option<Access> {
+        if self.pos == self.current.len() {
+            // Recycle the drained buffer; the producer may already be
+            // gone (trace exhausted), which is fine.
+            let drained = std::mem::take(&mut self.current);
+            if drained.capacity() > 0 {
+                let _ = self.free.send(drained);
+            }
+            self.current = self.full.recv().ok()?;
+            self.pos = 0;
+        }
+        let word = self.current[self.pos];
+        self.pos += 1;
+        Some(unpack_access(word))
+    }
+}
+
+/// Spawns the producer for `trace` inside `scope` and returns the
+/// consuming iterator. The ring's buffers are allocated here, once.
+fn spawn_producer<'scope>(
+    scope: &'scope std::thread::Scope<'scope, '_>,
+    trace: Trace,
+) -> PipelinedTrace {
+    let (full_tx, full_rx) = sync_channel::<Vec<u64>>(RING_BUFFERS);
+    let (free_tx, free_rx) = sync_channel::<Vec<u64>>(RING_BUFFERS);
+    for _ in 0..RING_BUFFERS {
+        free_tx
+            .send(Vec::with_capacity(CHUNK_ACCESSES))
+            .expect("ring has capacity for its own buffers");
+    }
+    scope.spawn(move || produce(trace, full_tx, free_rx));
+    PipelinedTrace {
+        full: full_rx,
+        free: free_tx,
+        current: Vec::new(),
+        pos: 0,
+    }
+}
+
+/// Warmup-then-measure over any access iterator; the shared tail of
+/// every execution mode. Matches `run_workload_with_warmup` exactly:
+/// measurements reset after `warmup` accesses and the wall clock times
+/// only the measured portion.
+fn warmup_then_measure(
+    config: SystemConfig,
+    name: &str,
+    mut accesses: impl Iterator<Item = Access>,
+    warmup: u64,
+) -> SimResult {
+    let mut system = SingleCoreSystem::new(config);
+    for _ in 0..warmup {
+        let access = accesses.next().expect("trace long enough for warmup");
+        system.step(access);
+    }
+    system.reset_measurements();
+    let started = Instant::now();
+    system.run(accesses);
+    let wall = started.elapsed().as_secs_f64();
+    let mut result = system.finish(name.to_owned());
+    result.wall_time_secs = wall;
+    result
+}
+
+/// Runs `warmup` unmeasured then the rest measured over a materialized
+/// trace, replaying `buffer` without any regeneration. The buffer must
+/// hold the full `warmup + len` stream of the cell. The measured
+/// portion steps whole packed chunks (`run_chunks`) rather than going
+/// through a per-access iterator; the step sequence — and therefore
+/// the result — is identical.
+pub fn run_workload_from_buffer(
+    config: SystemConfig,
+    name: &str,
+    buffer: &TraceBuffer,
+    warmup: u64,
+) -> SimResult {
+    let mut system = SingleCoreSystem::new(config);
+    let mut remaining = usize::try_from(warmup).expect("warmup fits usize");
+    let mut chunks = buffer.chunks();
+    let mut tail: &[u64] = &[];
+    for chunk in chunks.by_ref() {
+        if remaining >= chunk.len() {
+            for &word in chunk {
+                system.step(unpack_access(word));
+            }
+            remaining -= chunk.len();
+        } else {
+            let (head, rest) = chunk.split_at(remaining);
+            for &word in head {
+                system.step(unpack_access(word));
+            }
+            remaining = 0;
+            tail = rest;
+            break;
+        }
+    }
+    assert_eq!(remaining, 0, "trace long enough for warmup");
+    system.reset_measurements();
+    let started = Instant::now();
+    system.run_chunks(std::iter::once(tail).chain(chunks));
+    let wall = started.elapsed().as_secs_f64();
+    let mut result = system.finish(name.to_owned());
+    result.wall_time_secs = wall;
+    result
+}
+
+/// Like `run_workload_with_warmup`, but generation runs on a dedicated
+/// producer thread overlapped with simulation.
+pub fn run_workload_pipelined(
+    config: SystemConfig,
+    spec: &WorkloadSpec,
+    len: u64,
+    warmup: u64,
+) -> SimResult {
+    let trace = spec.trace(warmup + len, config.seed);
+    std::thread::scope(|scope| {
+        let accesses = spawn_producer(scope, trace);
+        warmup_then_measure(config, spec.name(), accesses, warmup)
+    })
+}
+
+/// Like `run_mix`, but each core's trace is generated by its own
+/// producer thread feeding the round-robin interleaver.
+pub fn run_mix_pipelined(
+    config: SystemConfig,
+    spec_a: &WorkloadSpec,
+    spec_b: &WorkloadSpec,
+    len: u64,
+) -> MulticoreResult {
+    let seed = config.seed;
+    // Identical trace construction to `run_mix`: core 1's workload
+    // lives 2^45 bytes away so the mixes never alias.
+    let trace_a = spec_a.trace(len, seed);
+    let trace_b = spec_b.trace_at(len, seed ^ 0xB0B, 1 << 45);
+    let mut system = DualCoreSystem::new(config);
+    std::thread::scope(|scope| {
+        let a = spawn_producer(scope, trace_a);
+        let b = spawn_producer(scope, trace_b);
+        system.run(a, b);
+    });
+    system.finish((spec_a.name().to_owned(), spec_b.name().to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+    use crate::config::PolicyKind;
+    use crate::multicore::run_mix;
+    use crate::system::run_workload_with_warmup;
+
+    fn fingerprint(r: &SimResult) -> String {
+        codec::encode_result(r).to_json()
+    }
+
+    #[test]
+    fn trace_mode_parses_canonical_and_alias_spellings() {
+        assert_eq!(TraceMode::parse("inline"), Some(TraceMode::Inline));
+        assert_eq!(TraceMode::parse(" Pipelined "), Some(TraceMode::Pipelined));
+        assert_eq!(TraceMode::parse("pipeline"), Some(TraceMode::Pipelined));
+        assert_eq!(TraceMode::parse("shared"), Some(TraceMode::Shared));
+        assert_eq!(TraceMode::parse("magic"), None);
+        assert_eq!(
+            TraceMode::parse(TraceMode::Shared.label()),
+            Some(TraceMode::Shared)
+        );
+    }
+
+    #[test]
+    fn pipelined_single_core_matches_inline_bit_exactly() {
+        let spec = workloads::workload("gcc").unwrap();
+        for policy in [PolicyKind::Baseline, PolicyKind::SlipAbp] {
+            let inline =
+                run_workload_with_warmup(SystemConfig::paper_45nm(policy), &spec, 20_000, 3_000);
+            let pipelined =
+                run_workload_pipelined(SystemConfig::paper_45nm(policy), &spec, 20_000, 3_000);
+            assert_eq!(fingerprint(&inline), fingerprint(&pipelined), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn shared_buffer_matches_inline_bit_exactly() {
+        let spec = workloads::workload("soplex").unwrap();
+        let config = SystemConfig::paper_45nm(PolicyKind::SlipAbp);
+        let inline = run_workload_with_warmup(config.clone(), &spec, 15_000, 2_000);
+        let buffer = TraceBuffer::materialize(spec.trace(17_000, config.seed));
+        let shared = run_workload_from_buffer(config, spec.name(), &buffer, 2_000);
+        assert_eq!(fingerprint(&inline), fingerprint(&shared));
+    }
+
+    #[test]
+    fn pipelined_mix_matches_inline_mix() {
+        let spec_a = workloads::workload("gcc").unwrap();
+        let spec_b = workloads::workload("lbm").unwrap();
+        let cfg = SystemConfig::paper_45nm(PolicyKind::SlipAbp);
+        let inline = run_mix(cfg.clone(), &spec_a, &spec_b, 15_000);
+        let pipelined = run_mix_pipelined(cfg, &spec_a, &spec_b, 15_000);
+        assert_eq!(inline.cycles, pipelined.cycles);
+        assert_eq!(inline.accesses, pipelined.accesses);
+        assert_eq!(inline.l3_stats, pipelined.l3_stats);
+        assert_eq!(inline.l2_stats, pipelined.l2_stats);
+        assert_eq!(inline.l2_energy, pipelined.l2_energy);
+        assert_eq!(inline.l3_energy, pipelined.l3_energy);
+        assert_eq!(inline.dram_total_traffic, pipelined.dram_total_traffic);
+    }
+
+    #[test]
+    fn chunk_boundary_lengths_are_handled() {
+        // Exactly one chunk, exactly two chunks, and one-over: the
+        // producer's exhaustion handling must not drop or repeat tail
+        // accesses. Cross-check against the buffer replay.
+        let spec = workloads::workload("gcc").unwrap();
+        for extra in [0u64, 1] {
+            let len = CHUNK_ACCESSES as u64 + extra;
+            let config = SystemConfig::paper_45nm(PolicyKind::Baseline);
+            let inline = run_workload_with_warmup(config.clone(), &spec, len, 0);
+            let pipelined = run_workload_pipelined(config, &spec, len, 0);
+            assert_eq!(fingerprint(&inline), fingerprint(&pipelined), "len {len}");
+        }
+    }
+}

@@ -302,33 +302,29 @@ impl SingleCoreSystem {
         req.signature = Self::signature(page);
         let now = self.cycles;
         let mut out = core::mem::take(&mut self.fill_scratch);
-        self.l2.fill_into(
-            req,
-            now,
-            &mut self.l2_policy,
-            &mut self.l2_repl,
-            &mut out,
-        );
+        self.l2
+            .fill_into(req, now, &mut self.l2_policy, &mut self.l2_repl, &mut out);
         for wb in &out.writebacks {
             self.writeback_below_l2(wb.addr);
         }
         self.fill_scratch = out;
     }
 
-    fn fill_l3(&mut self, line: LineAddr, slip_codes: [u8; 2], sampling: bool, page: PageId) -> bool {
+    fn fill_l3(
+        &mut self,
+        line: LineAddr,
+        slip_codes: [u8; 2],
+        sampling: bool,
+        page: PageId,
+    ) -> bool {
         let mut req = FillRequest::new(line);
         req.slip_codes = slip_codes;
         req.sampling = sampling;
         req.signature = Self::signature(page);
         let now = self.cycles;
         let mut out = core::mem::take(&mut self.fill_scratch);
-        self.l3.fill_into(
-            req,
-            now,
-            &mut self.l3_policy,
-            &mut self.l3_repl,
-            &mut out,
-        );
+        self.l3
+            .fill_into(req, now, &mut self.l3_policy, &mut self.l3_repl, &mut out);
         for wb in &out.writebacks {
             self.dram.write_line();
             if self.config.inclusive_llc {
@@ -349,16 +345,8 @@ impl SingleCoreSystem {
     /// leave the levels above; dirty upper copies go straight to DRAM
     /// (their L3 copy is gone).
     fn back_invalidate(&mut self, line: LineAddr) {
-        let dirty_above = self
-            .l1
-            .invalidate(line)
-            .map(|e| e.dirty)
-            .unwrap_or(false)
-            | self
-                .l2
-                .invalidate(line)
-                .map(|e| e.dirty)
-                .unwrap_or(false);
+        let dirty_above = self.l1.invalidate(line).map(|e| e.dirty).unwrap_or(false)
+            | self.l2.invalidate(line).map(|e| e.dirty).unwrap_or(false);
         if dirty_above {
             self.dram.write_line();
         }
@@ -432,25 +420,15 @@ impl SingleCoreSystem {
         let mut out = core::mem::take(&mut self.fill_scratch);
         match level {
             FillLevel::L2 => {
-                self.l2.fill_into(
-                    req,
-                    now,
-                    &mut self.l2_policy,
-                    &mut self.l2_repl,
-                    &mut out,
-                );
+                self.l2
+                    .fill_into(req, now, &mut self.l2_policy, &mut self.l2_repl, &mut out);
                 for wb in &out.writebacks {
                     self.writeback_below_l2(wb.addr);
                 }
             }
             FillLevel::L3 => {
-                self.l3.fill_into(
-                    req,
-                    now,
-                    &mut self.l3_policy,
-                    &mut self.l3_repl,
-                    &mut out,
-                );
+                self.l3
+                    .fill_into(req, now, &mut self.l3_policy, &mut self.l3_repl, &mut out);
                 for _wb in &out.writebacks {
                     self.dram.write_line();
                 }
@@ -475,6 +453,18 @@ impl SingleCoreSystem {
     pub fn run<I: IntoIterator<Item = cache_sim::Access>>(&mut self, trace: I) {
         for access in trace {
             self.step(access);
+        }
+    }
+
+    /// Runs a materialized trace chunk by chunk. Each chunk holds
+    /// packed words (see [`workloads::pack_access`]); the access stream
+    /// is the chunks' concatenation, identical to
+    /// [`run`](Self::run) over the trace they were packed from.
+    pub fn run_chunks<'a, I: IntoIterator<Item = &'a [u64]>>(&mut self, chunks: I) {
+        for chunk in chunks {
+            for &word in chunk {
+                self.step(workloads::unpack_access(word));
+            }
         }
     }
 
@@ -517,10 +507,7 @@ impl SingleCoreSystem {
             dram_metadata_writes: self.dram.metadata_writes,
             dram_energy: self.dram.energy.clone(),
             mmu_stats: self.mmu.as_ref().map(|m| m.stats),
-            eou_energy: self
-                .mmu
-                .as_ref()
-                .map_or(Energy::ZERO, |m| m.eou_energy()),
+            eou_energy: self.mmu.as_ref().map_or(Energy::ZERO, |m| m.eou_energy()),
             core_energy: self.core_energy,
             wall_time_secs: 0.0,
         }

@@ -60,25 +60,18 @@ fn journaled_suite_resumes_from_completed_cells() {
     let journal = dir.join("suite.jsonl");
 
     let sweep = SweepConfig {
-        jobs: 2,
         journal: Some(journal.clone()),
-        quiet: true,
+        ..SweepConfig::with_jobs(2)
     };
     let first = SuiteResults::run_with(reduced_options(), &sweep).unwrap();
-    let lines_after_first = std::fs::read_to_string(&journal)
-        .unwrap()
-        .lines()
-        .count();
+    let lines_after_first = std::fs::read_to_string(&journal).unwrap().lines().count();
     // 3 benchmarks x (baseline + slip + slip-abp) cells.
     assert_eq!(lines_after_first, 9);
 
     // Second run restores every cell from the journal: no new lines,
     // same results bit-for-bit.
     let second = SuiteResults::run_with(reduced_options(), &sweep).unwrap();
-    let lines_after_second = std::fs::read_to_string(&journal)
-        .unwrap()
-        .lines()
-        .count();
+    let lines_after_second = std::fs::read_to_string(&journal).unwrap().lines().count();
     assert_eq!(lines_after_second, lines_after_first, "resume re-ran cells");
     for &bench in first.benchmarks() {
         for &policy in &first.options.policies {
@@ -94,10 +87,7 @@ fn journaled_suite_resumes_from_completed_cells() {
     // reused, and the journal grows by exactly the new cells.
     let grown = reduced_options().with_accesses(50_000);
     let third = SuiteResults::run_with(grown, &sweep).unwrap();
-    let lines_after_third = std::fs::read_to_string(&journal)
-        .unwrap()
-        .lines()
-        .count();
+    let lines_after_third = std::fs::read_to_string(&journal).unwrap().lines().count();
     assert_eq!(lines_after_third, lines_after_first + 9);
     assert_eq!(third.get("gcc", PolicyKind::SlipAbp).accesses, 50_000);
 

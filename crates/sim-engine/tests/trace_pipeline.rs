@@ -1,0 +1,113 @@
+//! Golden equivalence of the trace pipeline: inline, pipelined, and
+//! shared-`Arc<TraceBuffer>` execution must produce bit-identical
+//! `SimResult`s for the benchmark × policy grid — serial and at four
+//! workers — and a journal resume across a shared-trace group must stay
+//! deterministic. Results are compared by their exact journal payload
+//! text, the same fingerprint the determinism tier-1 test uses.
+
+use sim_engine::codec;
+use sim_engine::config::PolicyKind;
+use sim_engine::experiments::{SuiteOptions, SuiteResults};
+use sim_engine::{SweepConfig, TraceMode};
+
+fn grid_options() -> SuiteOptions {
+    SuiteOptions::paper_full()
+        .with_benchmarks(&["gcc", "soplex", "lbm"])
+        .with_policies(&[PolicyKind::NuRapid, PolicyKind::Slip, PolicyKind::SlipAbp])
+        .with_accesses(30_000)
+        .with_warmup(5_000)
+}
+
+fn fingerprint(suite: &SuiteResults, bench: &str, policy: PolicyKind) -> String {
+    codec::encode_result(suite.get(bench, policy)).to_json()
+}
+
+/// Every cell fingerprint of a suite, in grid order.
+fn fingerprints(suite: &SuiteResults) -> Vec<String> {
+    suite
+        .benchmarks()
+        .iter()
+        .flat_map(|&b| {
+            suite
+                .options
+                .policies
+                .iter()
+                .map(move |&p| fingerprint(suite, b, p))
+        })
+        .collect()
+}
+
+fn run(mode: TraceMode, jobs: usize) -> Vec<String> {
+    let sweep = SweepConfig::with_jobs(jobs).with_trace_mode(mode);
+    fingerprints(&SuiteResults::run_with(grid_options(), &sweep).unwrap())
+}
+
+#[test]
+fn all_modes_agree_bit_exactly_at_one_and_four_jobs() {
+    let reference = run(TraceMode::Inline, 1);
+    for mode in [TraceMode::Inline, TraceMode::Pipelined, TraceMode::Shared] {
+        for jobs in [1, 4] {
+            assert_eq!(
+                run(mode, jobs),
+                reference,
+                "{} at jobs={jobs} diverges from inline serial",
+                mode.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_cache_budget_falls_back_without_changing_results() {
+    let reference = run(TraceMode::Inline, 1);
+    let starved = SweepConfig {
+        trace_cache_mb: 0,
+        ..SweepConfig::with_jobs(2).with_trace_mode(TraceMode::Shared)
+    };
+    let suite = SuiteResults::run_with(grid_options(), &starved).unwrap();
+    assert_eq!(fingerprints(&suite), reference);
+}
+
+#[test]
+fn journal_resume_across_a_shared_trace_group_is_deterministic() {
+    let dir = std::env::temp_dir().join(format!(
+        "slip-trace-pipeline-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("suite.jsonl");
+
+    // First pass: run only part of the gcc group (baseline + SLIP), so
+    // the journal holds a prefix of the group's cells.
+    let partial = SuiteOptions::paper_full()
+        .with_benchmarks(&["gcc"])
+        .with_policies(&[PolicyKind::Slip])
+        .with_accesses(30_000)
+        .with_warmup(5_000);
+    let sweep = SweepConfig {
+        journal: Some(journal.clone()),
+        ..SweepConfig::with_jobs(2).with_trace_mode(TraceMode::Shared)
+    };
+    SuiteResults::run_with(partial, &sweep).unwrap();
+    let lines_first = std::fs::read_to_string(&journal).unwrap().lines().count();
+    assert_eq!(lines_first, 2); // baseline + slip
+
+    // Second pass widens the group: restored cells skip the cache
+    // entirely while the new cells materialize and share the trace.
+    // The combined suite must equal an unjournaled inline run.
+    let full = grid_options();
+    // 3 benchmarks x 4 policies (baseline is always added), minus the
+    // 2 gcc cells already journaled.
+    let resumed = SuiteResults::run_with(full, &sweep).unwrap();
+    let lines_second = std::fs::read_to_string(&journal).unwrap().lines().count();
+    assert_eq!(lines_second, 12, "exactly the 10 new cells were appended");
+    let fresh = SuiteResults::run_with(
+        grid_options(),
+        &SweepConfig::with_jobs(1).with_trace_mode(TraceMode::Inline),
+    )
+    .unwrap();
+    assert_eq!(fingerprints(&resumed), fingerprints(&fresh));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -52,7 +52,9 @@ pub mod sampling;
 pub mod slip;
 
 pub use eou::{EnergyOptimizerUnit, EouCost, EouDecision, EouObjective};
-pub use model::{coefficients, coefficients_paper, slip_energy, slip_energy_direct, LevelModelParams};
+pub use model::{
+    coefficients, coefficients_paper, slip_energy, slip_energy_direct, LevelModelParams,
+};
 pub use partition::{interleaved_partitions, PartitionedSlip};
 pub use placement::{SlipLevel, SlipPlacement};
 pub use rd_dist::{bin_for_distance, RdDistribution, PAPER_BINS, PAPER_BIN_BITS};

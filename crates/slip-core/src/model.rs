@@ -126,7 +126,10 @@ fn build_coefficients(
     let s = params.sublevels();
     let chunks = slip.chunks();
     let m_used = slip.used_sublevels();
-    let chunk_e: Vec<Energy> = chunks.iter().map(|c| params.chunk_energy(c.clone())).collect();
+    let chunk_e: Vec<Energy> = chunks
+        .iter()
+        .map(|c| params.chunk_energy(c.clone()))
+        .collect();
     let mut alpha = vec![Energy::ZERO; s + 1];
 
     // Access energy: bin i (< m_used) is served from the chunk holding
@@ -194,7 +197,10 @@ pub fn slip_energy_direct(params: &LevelModelParams, slip: Slip, probs: &[f64]) 
         // All-Bypass: every reference goes to the next level.
         return params.next_level_energy * probs.iter().sum::<f64>();
     }
-    let chunk_e: Vec<Energy> = chunks.iter().map(|c| params.chunk_energy(c.clone())).collect();
+    let chunk_e: Vec<Energy> = chunks
+        .iter()
+        .map(|c| params.chunk_energy(c.clone()))
+        .collect();
     let m_used = slip.used_sublevels();
 
     // Eq. 3: accesses served per chunk.

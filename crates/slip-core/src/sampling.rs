@@ -84,7 +84,10 @@ impl TimeSampler {
     ///
     /// Panics if either denominator is zero.
     pub fn with_config(seed: u64, config: SamplingConfig) -> Self {
-        assert!(config.n_samp > 0 && config.n_stab > 0, "denominators must be positive");
+        assert!(
+            config.n_samp > 0 && config.n_stab > 0,
+            "denominators must be positive"
+        );
         TimeSampler {
             config,
             rng: SplitMix64::new(seed),
@@ -153,10 +156,7 @@ mod tests {
         }
         let f = sampling_ticks as f64 / n as f64;
         let expect = s.config().expected_sampling_fraction();
-        assert!(
-            (f - expect).abs() < 0.01,
-            "measured {f}, theory {expect}"
-        );
+        assert!((f - expect).abs() < 0.01, "measured {f}, theory {expect}");
     }
 
     #[test]
@@ -188,7 +188,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "denominators")]
     fn zero_denominator_rejected() {
-        TimeSampler::with_config(0, SamplingConfig { n_samp: 0, n_stab: 1 });
+        TimeSampler::with_config(
+            0,
+            SamplingConfig {
+                n_samp: 0,
+                n_stab: 1,
+            },
+        );
     }
 
     #[test]

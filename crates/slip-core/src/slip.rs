@@ -377,20 +377,11 @@ mod tests {
 
     #[test]
     fn invalid_inputs_are_rejected() {
-        assert_eq!(
-            Slip::from_code(0, 0),
-            Err(SlipError::BadSublevelCount(0))
-        );
+        assert_eq!(Slip::from_code(0, 0), Err(SlipError::BadSublevelCount(0)));
         assert_eq!(Slip::from_code(9, 0), Err(SlipError::BadSublevelCount(9)));
         assert_eq!(Slip::from_code(3, 8), Err(SlipError::BadCode(8)));
-        assert_eq!(
-            Slip::from_chunk_ends(3, &[1, 1]),
-            Err(SlipError::BadChunks)
-        );
-        assert_eq!(
-            Slip::from_chunk_ends(3, &[2, 1]),
-            Err(SlipError::BadChunks)
-        );
+        assert_eq!(Slip::from_chunk_ends(3, &[1, 1]), Err(SlipError::BadChunks));
+        assert_eq!(Slip::from_chunk_ends(3, &[2, 1]), Err(SlipError::BadChunks));
         assert_eq!(Slip::from_chunk_ends(3, &[3]), Err(SlipError::BadChunks));
     }
 

@@ -60,7 +60,10 @@ fn coefficients_shape() {
     let params = l2_params();
     for code in 0u8..8 {
         let slip = Slip::from_code(3, code).expect("valid");
-        for alpha in [coefficients(&params, slip), coefficients_paper(&params, slip)] {
+        for alpha in [
+            coefficients(&params, slip),
+            coefficients_paper(&params, slip),
+        ] {
             assert_eq!(alpha.len(), 4);
             for a in &alpha {
                 assert!(a.as_pj() >= 0.0);
@@ -90,9 +93,15 @@ fn insertion_term_is_nonnegative() {
         let probs: Vec<f64> = raw.iter().map(|&c| c as f64 / total as f64).collect();
         let slip = Slip::from_code(3, rng.next_below(8) as u8).expect("valid");
         let with: Energy = coefficients(&params, slip)
-            .iter().zip(&probs).map(|(&a, &p)| a * p).sum();
+            .iter()
+            .zip(&probs)
+            .map(|(&a, &p)| a * p)
+            .sum();
         let without: Energy = coefficients_paper(&params, slip)
-            .iter().zip(&probs).map(|(&a, &p)| a * p).sum();
+            .iter()
+            .zip(&probs)
+            .map(|(&a, &p)| a * p)
+            .sum();
         assert!(with >= without - Energy::from_pj(1e-9));
     }
 }
@@ -172,7 +181,12 @@ fn sampler_tracks_stationary_fraction() {
         }
         let f = sampling as f64 / n as f64;
         let expect = config.expected_sampling_fraction();
-        assert!((f - expect).abs() < 0.05, "measured {} expected {}", f, expect);
+        assert!(
+            (f - expect).abs() < 0.05,
+            "measured {} expected {}",
+            f,
+            expect
+        );
     }
 }
 

@@ -377,7 +377,10 @@ impl<'a> Parser<'a> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
             self.pos += 1;
         }
         let token = std::str::from_utf8(&self.bytes[start..self.pos])
@@ -437,10 +440,15 @@ mod tests {
         let v = Value::parse(src).unwrap();
         assert_eq!(v.get("key").and_then(Value::as_str), Some("a/b"));
         assert_eq!(
-            v.get("metrics").and_then(|m| m.get("n")).and_then(Value::as_u64),
+            v.get("metrics")
+                .and_then(|m| m.get("n"))
+                .and_then(Value::as_u64),
             Some(10)
         );
-        assert_eq!(v.get("tags").and_then(Value::as_array).map(<[Value]>::len), Some(3));
+        assert_eq!(
+            v.get("tags").and_then(Value::as_array).map(<[Value]>::len),
+            Some(3)
+        );
         assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
         assert_eq!(v.to_json(), src);
     }
@@ -461,7 +469,9 @@ mod tests {
 
     #[test]
     fn malformed_inputs_error() {
-        for src in ["", "{", "{\"a\"}", "[1,", "tru", "\"abc", "{\"a\":}", "01x", "1 2"] {
+        for src in [
+            "", "{", "{\"a\"}", "[1,", "tru", "\"abc", "{\"a\":}", "01x", "1 2",
+        ] {
             assert!(Value::parse(src).is_err(), "{src:?} should fail");
         }
     }
@@ -469,6 +479,9 @@ mod tests {
     #[test]
     fn whitespace_tolerated() {
         let v = Value::parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
-        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(2));
+        assert_eq!(
+            v.get("a").and_then(Value::as_array).map(<[Value]>::len),
+            Some(2)
+        );
     }
 }

@@ -32,8 +32,8 @@
 //! assert_eq!(squares[3], 9);
 //! ```
 
-pub mod json;
 pub mod journal;
+pub mod json;
 pub mod pool;
 pub mod progress;
 
@@ -153,7 +153,10 @@ where
             if let Err(e) =
                 journal.record(&keys[i], wall.as_secs_f64() * 1e3, metrics.clone(), payload)
             {
-                journal_error.lock().expect("error slot poisoned").get_or_insert(e);
+                journal_error
+                    .lock()
+                    .expect("error slot poisoned")
+                    .get_or_insert(e);
             }
         }
         progress.cell_done(&keys[i], wall, &metrics);

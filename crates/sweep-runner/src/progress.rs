@@ -24,7 +24,19 @@ struct Aggregate {
     accesses: f64,
     /// Per-cell wall seconds, summed (worker time, not sweep time).
     cell_secs: f64,
+    /// Cells that contributed to the sums above — cells reporting no
+    /// rate, a zero/non-finite rate, or ~0 wall time are excluded, so
+    /// the footer never divides by (almost) nothing.
+    rated_cells: usize,
+    /// Cells that replayed a shared materialized trace.
+    shared_traces: usize,
+    /// Cells that regenerated their trace (pipelined fallback).
+    regenerated_traces: usize,
 }
+
+/// Cells whose wall time rounds to nothing (tiny `--quick` cells) carry
+/// no throughput signal; below this they are left out of the aggregate.
+const MIN_RATED_SECS: f64 = 1e-6;
 
 /// Progress reporter for one sweep. Thread-safe.
 #[derive(Debug)]
@@ -54,11 +66,25 @@ impl Progress {
     /// Reports one completed cell.
     pub fn cell_done(&self, key: &str, wall: Duration, metrics: &Value) {
         let n = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let rate = metrics.get("accesses_per_sec").and_then(Value::as_f64);
-        if let Some(rate) = rate {
+        let rate = metrics
+            .get("accesses_per_sec")
+            .and_then(Value::as_f64)
+            .filter(|r| r.is_finite() && *r > 0.0);
+        let trace_source = metrics.get("trace_source").and_then(Value::as_str);
+        {
             let mut agg = self.aggregate.lock().unwrap();
-            agg.accesses += rate * wall.as_secs_f64();
-            agg.cell_secs += wall.as_secs_f64();
+            if let Some(rate) = rate {
+                if wall.as_secs_f64() >= MIN_RATED_SECS {
+                    agg.accesses += rate * wall.as_secs_f64();
+                    agg.cell_secs += wall.as_secs_f64();
+                    agg.rated_cells += 1;
+                }
+            }
+            match trace_source {
+                Some("shared") => agg.shared_traces += 1,
+                Some(_) => agg.regenerated_traces += 1,
+                None => {}
+            }
         }
         if self.quiet {
             return;
@@ -93,11 +119,13 @@ impl Progress {
     }
 
     /// Aggregate simulator throughput in accesses per second across all
-    /// reported cells (total simulated accesses over total per-cell
-    /// wall time), or `None` when no cell reported a rate.
+    /// rated cells (total simulated accesses over total per-cell wall
+    /// time), or `None` when no cell reported a usable rate.
     pub fn aggregate_rate(&self) -> Option<f64> {
         let agg = *self.aggregate.lock().unwrap();
-        (agg.cell_secs > 0.0).then(|| agg.accesses / agg.cell_secs)
+        (agg.rated_cells > 0 && agg.cell_secs >= MIN_RATED_SECS)
+            .then(|| agg.accesses / agg.cell_secs)
+            .filter(|r| r.is_finite())
     }
 
     /// Prints the end-of-sweep summary; `from_journal` is how many
@@ -106,11 +134,19 @@ impl Progress {
         if self.quiet {
             return;
         }
+        let agg = *self.aggregate.lock().unwrap();
         let mut detail = String::new();
         if let Some(rate) = self.aggregate_rate() {
-            let cells = self.done.load(Ordering::Relaxed).max(1);
-            let mean = self.aggregate.lock().unwrap().cell_secs / cells as f64;
+            // Mean over the rated cells only; unrated cells would drag
+            // the mean toward zero without carrying any signal.
+            let mean = agg.cell_secs / agg.rated_cells as f64;
             detail = format!(" ({:.0} kacc/s aggregate, {mean:.2}s/cell)", rate / 1e3);
+        }
+        if agg.shared_traces + agg.regenerated_traces > 0 {
+            detail.push_str(&format!(
+                " [traces: {} shared, {} regenerated]",
+                agg.shared_traces, agg.regenerated_traces
+            ));
         }
         eprintln!(
             "[{}] {} cells done ({from_journal} from journal) in {:.1}s{detail}",
@@ -158,5 +194,56 @@ mod tests {
         // Cells without a rate don't perturb the aggregate.
         p.cell_done("c", Duration::from_secs(9), &Value::object());
         assert!((p.aggregate_rate().unwrap() - rate).abs() < 1.0);
+    }
+
+    #[test]
+    fn nonsense_rates_never_reach_the_footer() {
+        let p = Progress::new("t", 4, true);
+        // Zero rate (the codec's secs<=0 fallback), non-finite rates,
+        // and a ~0-wall cell: none may contribute.
+        p.cell_done(
+            "zero",
+            Duration::from_secs(1),
+            &Value::object().with("accesses_per_sec", Value::f64(0.0)),
+        );
+        p.cell_done(
+            "inf",
+            Duration::from_secs(1),
+            &Value::object().with("accesses_per_sec", Value::f64(f64::INFINITY)),
+        );
+        p.cell_done(
+            "nan",
+            Duration::from_secs(1),
+            &Value::object().with("accesses_per_sec", Value::f64(f64::NAN)),
+        );
+        p.cell_done(
+            "instant",
+            Duration::from_nanos(1),
+            &Value::object().with("accesses_per_sec", Value::f64(1e6)),
+        );
+        assert_eq!(p.aggregate_rate(), None);
+        p.finish(0); // quiet, but must not divide by zero either way
+                     // One sane cell and the aggregate is back.
+        p.cell_done(
+            "ok",
+            Duration::from_secs(1),
+            &Value::object().with("accesses_per_sec", Value::f64(2e6)),
+        );
+        let rate = p.aggregate_rate().unwrap();
+        assert!((rate - 2e6).abs() < 1.0, "rate was {rate}");
+    }
+
+    #[test]
+    fn trace_sources_are_counted() {
+        let p = Progress::new("t", 3, true);
+        let shared = Value::object().with("trace_source", Value::str("shared"));
+        let regen = Value::object().with("trace_source", Value::str("pipelined"));
+        p.cell_done("a", Duration::from_millis(5), &shared);
+        p.cell_done("b", Duration::from_millis(5), &shared);
+        p.cell_done("c", Duration::from_millis(5), &regen);
+        let agg = *p.aggregate.lock().unwrap();
+        assert_eq!(agg.shared_traces, 2);
+        assert_eq!(agg.regenerated_traces, 1);
+        p.finish(0);
     }
 }

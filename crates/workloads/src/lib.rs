@@ -22,11 +22,13 @@
 //! assert_eq!(trace, again);
 //! ```
 
+pub mod buffer;
 pub mod io;
 pub mod pattern;
 pub mod spec;
 pub mod trace;
 
+pub use buffer::{pack_access, unpack_access, ChunkedTrace, TraceBuffer};
 pub use pattern::{PatternKind, PatternSpec};
 pub use spec::{all_workloads, workload, BENCHMARK_NAMES, MULTICORE_MIXES};
 pub use trace::{PhaseSpec, Trace, WorkloadSpec};

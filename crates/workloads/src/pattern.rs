@@ -170,7 +170,6 @@ impl PatternState {
         };
         Access { addr, kind }
     }
-
 }
 
 #[cfg(test)]
@@ -182,9 +181,7 @@ mod tests {
         let spec = PatternSpec::new(kind, 1, 0.0);
         let mut st = PatternState::new(&spec, 1 << 20);
         let mut rng = SplitMix64::new(1);
-        (0..n)
-            .map(|_| st.next_access(&mut rng).line().0)
-            .collect()
+        (0..n).map(|_| st.next_access(&mut rng).line().0).collect()
     }
 
     #[test]

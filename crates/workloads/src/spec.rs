@@ -33,21 +33,57 @@ pub fn workload(name: &str) -> Option<WorkloadSpec> {
         // random permutation lookups (rperm), and the bimodal cperm.
         "soplex" => single(vec![
             p(Loop { region_kb: 48 }, 22, 0.35),
-            p(Scan { region_kb: 6 * 1024 }, 28, 0.30),
-            p(Random { region_kb: 8 * 1024 }, 28, 0.15),
+            p(
+                Scan {
+                    region_kb: 6 * 1024,
+                },
+                28,
+                0.30,
+            ),
+            p(
+                Random {
+                    region_kb: 8 * 1024,
+                },
+                28,
+                0.15,
+            ),
             p(Loop { region_kb: 192 }, 22, 0.25),
         ]),
         "gcc" => single(vec![
             p(Loop { region_kb: 40 }, 50, 0.30),
             p(Loop { region_kb: 160 }, 25, 0.25),
-            p(Random { region_kb: 4 * 1024 }, 15, 0.10),
-            p(Scan { region_kb: 5 * 1024 }, 10, 0.30),
+            p(
+                Random {
+                    region_kb: 4 * 1024,
+                },
+                15,
+                0.10,
+            ),
+            p(
+                Scan {
+                    region_kb: 5 * 1024,
+                },
+                10,
+                0.30,
+            ),
         ]),
         // TLB-miss heavy: a big random region spanning many pages.
         "xalancbmk" => single(vec![
-            p(Random { region_kb: 12 * 1024 }, 45, 0.10),
+            p(
+                Random {
+                    region_kb: 12 * 1024,
+                },
+                45,
+                0.10,
+            ),
             p(Loop { region_kb: 40 }, 35, 0.30),
-            p(Scan { region_kb: 6 * 1024 }, 20, 0.25),
+            p(
+                Scan {
+                    region_kb: 6 * 1024,
+                },
+                20,
+                0.25,
+            ),
         ]),
         // Phased: first half chases a huge region (bypass material),
         // second half develops locality in a mid-sized set — lines that
@@ -56,9 +92,21 @@ pub fn workload(name: &str) -> Option<WorkloadSpec> {
             phase(
                 0.5,
                 vec![
-                    p(Chase { region_kb: 6 * 1024 }, 55, 0.05),
+                    p(
+                        Chase {
+                            region_kb: 6 * 1024,
+                        },
+                        55,
+                        0.05,
+                    ),
                     p(Loop { region_kb: 40 }, 25, 0.30),
-                    p(Scan { region_kb: 6 * 1024 }, 20, 0.15),
+                    p(
+                        Scan {
+                            region_kb: 6 * 1024,
+                        },
+                        20,
+                        0.15,
+                    ),
                 ],
             ),
             phase(
@@ -66,61 +114,163 @@ pub fn workload(name: &str) -> Option<WorkloadSpec> {
                 vec![
                     p(Random { region_kb: 1024 }, 40, 0.10),
                     p(Loop { region_kb: 96 }, 40, 0.30),
-                    p(Chase { region_kb: 6 * 1024 }, 20, 0.05),
+                    p(
+                        Chase {
+                            region_kb: 6 * 1024,
+                        },
+                        20,
+                        0.05,
+                    ),
                 ],
             ),
         ],
         "leslie3D" => single(vec![
-            p(Scan { region_kb: 4 * 1024 }, 35, 0.35),
+            p(
+                Scan {
+                    region_kb: 4 * 1024,
+                },
+                35,
+                0.35,
+            ),
             p(Loop { region_kb: 500 }, 30, 0.30),
             p(Loop { region_kb: 40 }, 35, 0.30),
         ]),
         "omnetpp" => single(vec![
-            p(Random { region_kb: 12 * 1024 }, 40, 0.20),
+            p(
+                Random {
+                    region_kb: 12 * 1024,
+                },
+                40,
+                0.20,
+            ),
             p(Loop { region_kb: 36 }, 30, 0.35),
-            p(Scan { region_kb: 5 * 1024 }, 30, 0.25),
+            p(
+                Scan {
+                    region_kb: 5 * 1024,
+                },
+                30,
+                0.25,
+            ),
         ]),
         "astar" => single(vec![
-            p(Chase { region_kb: 6 * 1024 }, 40, 0.10),
+            p(
+                Chase {
+                    region_kb: 6 * 1024,
+                },
+                40,
+                0.10,
+            ),
             p(Loop { region_kb: 56 }, 40, 0.30),
-            p(Scan { region_kb: 5 * 1024 }, 20, 0.20),
+            p(
+                Scan {
+                    region_kb: 5 * 1024,
+                },
+                20,
+                0.20,
+            ),
         ]),
         "gemsFDTD" => single(vec![
-            p(Scan { region_kb: 4 * 1024 }, 60, 0.35),
+            p(
+                Scan {
+                    region_kb: 4 * 1024,
+                },
+                60,
+                0.35,
+            ),
             p(Loop { region_kb: 1024 }, 25, 0.30),
             p(Loop { region_kb: 48 }, 15, 0.30),
         ]),
         "sphinx3" => single(vec![
             p(Loop { region_kb: 40 }, 55, 0.15),
-            p(Random { region_kb: 2 * 1024 }, 20, 0.10),
-            p(Scan { region_kb: 5 * 1024 }, 25, 0.10),
+            p(
+                Random {
+                    region_kb: 2 * 1024,
+                },
+                20,
+                0.10,
+            ),
+            p(
+                Scan {
+                    region_kb: 5 * 1024,
+                },
+                25,
+                0.10,
+            ),
         ]),
         "wrf" => single(vec![
-            p(Scan { region_kb: 6 * 1024 }, 30, 0.35),
+            p(
+                Scan {
+                    region_kb: 6 * 1024,
+                },
+                30,
+                0.35,
+            ),
             p(Loop { region_kb: 120 }, 45, 0.30),
-            p(Random { region_kb: 6 * 1024 }, 25, 0.10),
+            p(
+                Random {
+                    region_kb: 6 * 1024,
+                },
+                25,
+                0.10,
+            ),
         ]),
         "milc" => single(vec![
-            p(Scan { region_kb: 4 * 1024 }, 55, 0.30),
-            p(Random { region_kb: 10 * 1024 }, 25, 0.10),
+            p(
+                Scan {
+                    region_kb: 4 * 1024,
+                },
+                55,
+                0.30,
+            ),
+            p(
+                Random {
+                    region_kb: 10 * 1024,
+                },
+                25,
+                0.10,
+            ),
             p(Loop { region_kb: 60 }, 20, 0.30),
         ]),
         "cactusADM" => single(vec![
             p(Loop { region_kb: 700 }, 35, 0.30),
-            p(Scan { region_kb: 6 * 1024 }, 30, 0.35),
+            p(
+                Scan {
+                    region_kb: 6 * 1024,
+                },
+                30,
+                0.35,
+            ),
             p(Loop { region_kb: 44 }, 35, 0.30),
         ]),
         "bzip2" => single(vec![
             p(Loop { region_kb: 200 }, 35, 0.25),
             p(Loop { region_kb: 44 }, 40, 0.30),
             p(Random { region_kb: 900 }, 15, 0.15),
-            p(Scan { region_kb: 4 * 1024 }, 10, 0.30),
+            p(
+                Scan {
+                    region_kb: 4 * 1024,
+                },
+                10,
+                0.30,
+            ),
         ]),
         // Pure streaming stencil: almost everything bypassable.
         "lbm" => single(vec![
-            p(Scan { region_kb: 4 * 1024 }, 75, 0.45),
+            p(
+                Scan {
+                    region_kb: 4 * 1024,
+                },
+                75,
+                0.45,
+            ),
             p(Loop { region_kb: 150 }, 15, 0.30),
-            p(Random { region_kb: 3 * 1024 }, 10, 0.10),
+            p(
+                Random {
+                    region_kb: 3 * 1024,
+                },
+                10,
+                0.10,
+            ),
         ]),
         _ => return None,
     };

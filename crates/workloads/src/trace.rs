@@ -203,19 +203,11 @@ mod tests {
             vec![
                 PhaseSpec {
                     fraction: 0.5,
-                    patterns: vec![PatternSpec::new(
-                        PatternKind::Loop { region_kb: 4 },
-                        1,
-                        0.0,
-                    )],
+                    patterns: vec![PatternSpec::new(PatternKind::Loop { region_kb: 4 }, 1, 0.0)],
                 },
                 PhaseSpec {
                     fraction: 0.5,
-                    patterns: vec![PatternSpec::new(
-                        PatternKind::Loop { region_kb: 8 },
-                        1,
-                        0.0,
-                    )],
+                    patterns: vec![PatternSpec::new(PatternKind::Loop { region_kb: 8 }, 1, 0.0)],
                 },
             ],
         )
@@ -297,11 +289,7 @@ mod tests {
             "bad",
             vec![PhaseSpec {
                 fraction: 0.7,
-                patterns: vec![PatternSpec::new(
-                    PatternKind::Scan { region_kb: 1 },
-                    1,
-                    0.0,
-                )],
+                patterns: vec![PatternSpec::new(PatternKind::Scan { region_kb: 1 }, 1, 0.0)],
             }],
         );
     }

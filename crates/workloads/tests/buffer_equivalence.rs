@@ -1,0 +1,70 @@
+//! Property-style guarantee behind the trace pipeline: a materialized
+//! [`TraceBuffer`] replays the *exact* access sequence of the streaming
+//! [`Trace`] it was built from — same accesses, same length, correct
+//! `size_hint` throughout — for every suite workload, several seeds,
+//! and relocated (`trace_at`) address spaces.
+
+use workloads::{TraceBuffer, BENCHMARK_NAMES};
+
+const SEEDS: [u64; 3] = [0x511b, 1, 0xDEAD_BEEF];
+const LEN: u64 = 20_000;
+
+/// Exhaustively compares one streaming trace against its materialized
+/// replay, checking contents, exact length, and `size_hint` at every
+/// step of the replay.
+fn assert_replay_equals_stream(name: &str, seed: u64, offset: u64) {
+    let spec = workloads::workload(name).expect("known benchmark");
+    let streamed: Vec<_> = spec.trace_at(LEN, seed, offset).collect();
+    assert_eq!(streamed.len() as u64, LEN, "{name}/{seed:#x} stream length");
+
+    // A chunk length that does not divide LEN, so the last chunk is
+    // partial and every boundary case is exercised.
+    let buf = TraceBuffer::materialize_chunked(spec.trace_at(LEN, seed, offset), 4096 - 1);
+    assert_eq!(buf.len(), LEN, "{name}/{seed:#x} buffer length");
+
+    let mut replay = buf.iter();
+    for (i, expect) in streamed.iter().enumerate() {
+        let left = LEN as usize - i;
+        assert_eq!(
+            replay.size_hint(),
+            (left, Some(left)),
+            "{name}/{seed:#x} size_hint before access {i}"
+        );
+        assert_eq!(replay.len(), left);
+        let got = replay.next().expect("replay as long as stream");
+        assert_eq!(
+            got, *expect,
+            "{name}/{seed:#x} access {i} (offset {offset:#x})"
+        );
+    }
+    assert_eq!(replay.size_hint(), (0, Some(0)));
+    assert!(replay.next().is_none(), "{name}/{seed:#x} replay over-long");
+}
+
+#[test]
+fn buffers_replay_every_suite_workload_bit_identically() {
+    for name in BENCHMARK_NAMES {
+        for seed in SEEDS {
+            assert_replay_equals_stream(name, seed, 0);
+        }
+    }
+}
+
+#[test]
+fn buffers_replay_relocated_traces_bit_identically() {
+    // The multicore driver places core 1 workloads at 2^45; cover that
+    // offset and another 4 GiB-aligned one.
+    for name in ["gcc", "mcf", "lbm"] {
+        for offset in [1u64 << 45, 1 << 32] {
+            assert_replay_equals_stream(name, 0x511b, offset);
+        }
+    }
+}
+
+#[test]
+fn default_chunking_matches_custom_chunking() {
+    let spec = workloads::workload("soplex").expect("known benchmark");
+    let default = TraceBuffer::materialize(spec.trace(LEN, 9));
+    let custom = TraceBuffer::materialize_chunked(spec.trace(LEN, 9), 123);
+    assert!(default.iter().eq(custom.iter()));
+}

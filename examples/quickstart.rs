@@ -30,11 +30,7 @@ fn main() {
         "policy", "L2 energy", "L3 energy", "L2 sav", "L3 sav", "speedup", "DRAM xfer", "bypass%"
     );
 
-    let baseline = run_workload(
-        SystemConfig::paper_45nm(PolicyKind::Baseline),
-        &spec,
-        len,
-    );
+    let baseline = run_workload(SystemConfig::paper_45nm(PolicyKind::Baseline), &spec, len);
 
     for policy in PolicyKind::ALL {
         let r = if policy == PolicyKind::Baseline {

@@ -26,7 +26,10 @@ fn main() {
     let mut eou_l3 = EnergyOptimizerUnit::new(&l3);
 
     let scenarios: [(&str, [u16; 4]); 6] = [
-        ("tight loop, fits 64 KB (soplex rorig, near c..r)", [15, 0, 0, 0]),
+        (
+            "tight loop, fits 64 KB (soplex rorig, near c..r)",
+            [15, 0, 0, 0],
+        ),
         ("loop needing 128 KB", [0, 14, 1, 0]),
         ("loop needing the full 256 KB", [0, 0, 14, 1]),
         ("streaming, never reused (soplex rperm)", [0, 0, 0, 15]),

@@ -11,14 +11,23 @@ use energy_model::{BankGrid, Energy, Topology, WireParams, TECH_45NM};
 fn show_level(name: &str, grid: &BankGrid, table2: &[Energy]) {
     let wire = WireParams::NM45;
     let split = [4usize, 4, 8];
-    println!("--- {name}: {}x{} banks, {} ways ---", grid.rows, grid.cols, grid.ways);
+    println!(
+        "--- {name}: {}x{} banks, {} ways ---",
+        grid.rows, grid.cols, grid.ways
+    );
     println!(
         "{:<38} {:>10} {:>10} {:>10} {:>9}",
         "topology (paper Fig. 4)", "sub0", "sub1", "sub2", "spread"
     );
     for (label, topo) in [
-        ("hierarchical bus, way-interleaved", Topology::HierarchicalBusWayInterleaved),
-        ("hierarchical bus, set-interleaved", Topology::HierarchicalBusSetInterleaved),
+        (
+            "hierarchical bus, way-interleaved",
+            Topology::HierarchicalBusWayInterleaved,
+        ),
+        (
+            "hierarchical bus, set-interleaved",
+            Topology::HierarchicalBusSetInterleaved,
+        ),
         ("H-tree", Topology::HTree),
     ] {
         let e = grid.sublevel_energies(topo, &wire, &split);
@@ -50,8 +59,16 @@ fn main() {
          candidate location equal; the H-tree makes them equally *bad*.\n",
         WireParams::NM45.pj_per_bit_mm
     );
-    show_level("L2 (256 KB)", &BankGrid::l2_45nm(), &TECH_45NM.l2.sublevel_access);
-    show_level("L3 (2 MB)", &BankGrid::l3_45nm(), &TECH_45NM.l3.sublevel_access);
+    show_level(
+        "L2 (256 KB)",
+        &BankGrid::l2_45nm(),
+        &TECH_45NM.l2.sublevel_access,
+    );
+    show_level(
+        "L3 (2 MB)",
+        &BankGrid::l3_45nm(),
+        &TECH_45NM.l3.sublevel_access,
+    );
 
     // What finer partitions would look like at the L3.
     println!("--- L3 way-interleaved, alternative sublevel splits ---");
@@ -60,6 +77,10 @@ fn main() {
     for split in [vec![8usize, 8], vec![4, 4, 8], vec![4, 4, 4, 4], vec![2; 8]] {
         let e = grid.sublevel_energies(Topology::HierarchicalBusWayInterleaved, &wire, &split);
         let pretty: Vec<String> = e.iter().map(|x| format!("{:.0}", x.as_pj())).collect();
-        println!("  {:>12} ways -> [{}] pJ", format!("{split:?}"), pretty.join(", "));
+        println!(
+            "  {:>12} ways -> [{}] pJ",
+            format!("{split:?}"),
+            pretty.join(", ")
+        );
     }
 }

@@ -8,6 +8,13 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+if command -v cargo-fmt >/dev/null 2>&1; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+else
+    echo "==> rustfmt not installed; skipping format step"
+fi
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -15,20 +22,20 @@ echo "==> cargo test -q"
 cargo test -q
 
 if command -v cargo-clippy >/dev/null 2>&1; then
-    echo "==> cargo clippy -- -D warnings"
-    cargo clippy --all-targets -- -D warnings
+    echo "==> cargo clippy -q --all-targets -- -D warnings"
+    cargo clippy -q --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi
 
 # Perf-regression smoke: the quick microbench suite must stay within
-# 20% of the committed baseline (BENCH_2.json). Wall-clock sensitive,
+# 20% of the committed baseline (BENCH_4.json). Wall-clock sensitive,
 # so allow opting out on loaded/shared machines.
 if [ "${SLIP_SKIP_BENCH:-0}" = "1" ]; then
     echo "==> SLIP_SKIP_BENCH=1; skipping bench smoke"
 else
-    echo "==> slip bench --quick --check BENCH_2.json"
-    ./target/release/slip bench --quick --check BENCH_2.json
+    echo "==> slip bench --quick --check BENCH_4.json"
+    ./target/release/slip bench --quick --check BENCH_4.json
 fi
 
 echo "==> ci OK"

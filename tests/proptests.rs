@@ -7,12 +7,13 @@
 
 use cache_sim::rng::SplitMix64;
 use cache_sim::{
-    AccessClass, AccessKind, BaselinePolicy, CacheGeometry, CacheLevel, FillRequest, LineAddr,
-    Lru, WayMask,
+    AccessClass, AccessKind, BaselinePolicy, CacheGeometry, CacheLevel, FillRequest, LineAddr, Lru,
+    WayMask,
 };
 use energy_model::Energy;
-use slip_core::{bin_for_distance, slip_energy, slip_energy_direct, LevelModelParams,
-                RdDistribution, Slip};
+use slip_core::{
+    bin_for_distance, slip_energy, slip_energy_direct, LevelModelParams, RdDistribution, Slip,
+};
 
 const CASES: u64 = 256;
 

@@ -128,7 +128,9 @@ fn bypassed_lines_are_never_resident() {
         .iter()
         .find(|(_, e)| {
             e.state == PageState::Stable
-                && Slip::from_code(3, e.slips[0]).expect("code").is_all_bypass()
+                && Slip::from_code(3, e.slips[0])
+                    .expect("code")
+                    .is_all_bypass()
         })
         .map(|(p, _)| *p);
     let Some(page) = page else {
