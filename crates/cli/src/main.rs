@@ -9,6 +9,9 @@
 //! slip record <workload> <out.trc> [options] dump a synthetic trace
 //! slip bench [--quick] [--out b.json] [--check BENCH.json]
 //!                                            hot-path performance suite
+//! slip check [--full] [--oracle] [--iters N] [--seed S] [--max-len N]
+//!                                            conformance: differential fuzz +
+//!                                            invariants (+ figure oracle)
 //!
 //! options:
 //!   --policy <baseline|nurapid|lru-pea|slip|slip-abp>   (default slip-abp)
@@ -62,7 +65,9 @@ usage:
              [--trace-mode inline|pipelined|shared] [--trace-cache-mb N]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]
-  slip bench [--quick] [--out bench.json] [--check BENCH_4.json]";
+  slip bench [--quick] [--out bench.json] [--check BENCH_4.json]
+  slip check [--quick|--full] [--oracle] [--iters N] [--seed S] [--max-len N]
+             [--accesses N] [--jobs N]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -73,6 +78,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("mix") => cmd_mix(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -508,28 +514,157 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         let baseline = sweep_runner::json::Value::parse(&text)
             .map_err(|e| format!("parsing {path}: {e:?}"))?;
-        let base_rate = sim_engine::bench::baseline_suite_rate(&baseline, quick)
-            .ok_or_else(|| format!("{path} has no suite_accesses_per_sec"))?;
-        let floor = base_rate * (1.0 - BENCH_REGRESSION_TOLERANCE);
         let current = report.suite_accesses_per_sec;
+        let (base_rate, floor) = bench_check_verdict(current, &baseline, quick)?;
         println!(
             "\ncheck vs {path}: current {:.0} kacc/s, baseline {:.0} kacc/s (floor {:.0})",
             current / 1e3,
             base_rate / 1e3,
             floor / 1e3
         );
-        if current < floor {
-            return Err(format!(
-                "throughput regression: {:.0} kacc/s is more than {:.0}% below the \
-                 baseline {:.0} kacc/s",
-                current / 1e3,
-                BENCH_REGRESSION_TOLERANCE * 100.0,
-                base_rate / 1e3
-            ));
-        }
         println!("check OK");
     }
     Ok(())
+}
+
+/// The `slip bench --check` tolerance rule, isolated for testing:
+/// `current` must stay within [`BENCH_REGRESSION_TOLERANCE`] of the
+/// baseline's suite rate. Returns `(baseline_rate, floor)` on success.
+fn bench_check_verdict(
+    current: f64,
+    baseline: &sweep_runner::json::Value,
+    quick: bool,
+) -> Result<(f64, f64), String> {
+    let base_rate = sim_engine::bench::baseline_suite_rate(baseline, quick)
+        .ok_or_else(|| "baseline has no suite_accesses_per_sec".to_owned())?;
+    let floor = base_rate * (1.0 - BENCH_REGRESSION_TOLERANCE);
+    if current < floor {
+        return Err(format!(
+            "throughput regression: {:.0} kacc/s is more than {:.0}% below the \
+             baseline {:.0} kacc/s",
+            current / 1e3,
+            BENCH_REGRESSION_TOLERANCE * 100.0,
+            base_rate / 1e3
+        ));
+    }
+    Ok((base_rate, floor))
+}
+
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let mut full = false;
+    let mut oracle = false;
+    let mut iters: Option<u64> = None;
+    let mut max_len: Option<u64> = None;
+    let mut seed = 0x511bu64;
+    let mut accesses = 1_000_000u64;
+    let mut jobs = sim_engine::env::jobs();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--quick" => full = false,
+            "--full" => full = true,
+            "--oracle" => oracle = true,
+            "--iters" => {
+                iters = Some(
+                    value("--iters")?
+                        .parse()
+                        .map_err(|e| format!("--iters: {e}"))?,
+                )
+            }
+            "--max-len" => {
+                max_len = Some(
+                    value("--max-len")?
+                        .parse()
+                        .map_err(|e| format!("--max-len: {e}"))?,
+                )
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                seed = if let Some(hex) = v.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).map_err(|e| format!("--seed: {e}"))?
+                } else {
+                    v.parse().map_err(|e| format!("--seed: {e}"))?
+                }
+            }
+            "--accesses" => {
+                accesses = value("--accesses")?
+                    .parse()
+                    .map_err(|e| format!("--accesses: {e}"))?
+            }
+            "--jobs" => {
+                jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            other => return Err(format!("unknown check option {other:?}")),
+        }
+    }
+
+    let mut opts = if full {
+        slip_conformance::FuzzOptions::full(seed)
+    } else {
+        slip_conformance::FuzzOptions::quick(seed)
+    };
+    // Budget precedence: --iters beats SLIP_FUZZ_ITERS beats the mode
+    // default, so CI can pin a deterministic budget in one place.
+    if let Some(n) = iters.or_else(sim_engine::env::fuzz_iters) {
+        opts.iters = n;
+    }
+    if let Some(n) = max_len {
+        opts.max_len = n;
+    }
+    let phases = 2 + u32::from(oracle);
+    println!(
+        "slip check ({} mode, seed {seed:#x}, {} fuzz iterations, max trace {})",
+        if full { "full" } else { "quick" },
+        opts.iters,
+        opts.max_len
+    );
+
+    println!("[1/{phases}] differential fuzz: reference vs optimized paths");
+    let divergences = slip_conformance::run_fuzz(&opts);
+    for d in &divergences {
+        println!("{d}");
+    }
+
+    println!("[2/{phases}] executable invariants");
+    let invariant_len = if full { 20_000 } else { 5_000 };
+    let violations = slip_conformance::run_invariant_sweep(seed, invariant_len, opts.quiet);
+    for v in &violations {
+        println!("{v}");
+    }
+
+    let mut oracle_failures = 0;
+    if oracle {
+        println!("[3/{phases}] figure oracle at {accesses} accesses/benchmark");
+        let report =
+            slip_conformance::run_oracle(accesses, &sim_engine::SweepConfig::with_jobs(jobs))
+                .map_err(|e| format!("oracle sweep: {e}"))?;
+        print!("{report}");
+        oracle_failures = report.failures().len();
+    }
+
+    println!(
+        "slip check: {} divergence(s), {} invariant violation(s){}",
+        divergences.len(),
+        violations.len(),
+        if oracle {
+            format!(", {oracle_failures} oracle failure(s)")
+        } else {
+            String::new()
+        }
+    );
+    if divergences.is_empty() && violations.is_empty() && oracle_failures == 0 {
+        println!("check OK");
+        Ok(())
+    } else {
+        Err("conformance check failed (details above)".to_owned())
+    }
 }
 
 #[cfg(test)]
@@ -633,5 +768,57 @@ mod tests {
     fn decimal_seed_parses() {
         let o = parse_options(&s(&["--seed", "123"])).unwrap();
         assert_eq!(o.seed, 123);
+    }
+
+    fn baseline_json(text: &str) -> sweep_runner::json::Value {
+        sweep_runner::json::Value::parse(text).unwrap()
+    }
+
+    #[test]
+    fn bench_check_passes_inside_the_tolerance_band() {
+        let baseline = baseline_json(r#"{"suite_accesses_per_sec": 1000000.0}"#);
+        // 20% tolerance: the floor is 800k.
+        let (base, floor) = bench_check_verdict(900_000.0, &baseline, false).unwrap();
+        assert_eq!(base, 1_000_000.0);
+        assert_eq!(floor, 800_000.0);
+        // Exactly at the floor still passes; faster than baseline too.
+        assert!(bench_check_verdict(800_000.0, &baseline, false).is_ok());
+        assert!(bench_check_verdict(2_000_000.0, &baseline, false).is_ok());
+    }
+
+    #[test]
+    fn bench_check_fails_below_the_tolerance_band() {
+        let baseline = baseline_json(r#"{"suite_accesses_per_sec": 1000000.0}"#);
+        let err = bench_check_verdict(799_999.0, &baseline, false).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn bench_check_reads_the_mode_matching_section() {
+        // Nested report shape: --quick baselines live under after_quick.
+        let baseline = baseline_json(
+            r#"{"after": {"suite_accesses_per_sec": 1000000.0},
+                "after_quick": {"suite_accesses_per_sec": 100000.0}}"#,
+        );
+        // 90k passes against the quick section (floor 80k) but fails
+        // against the full section (floor 800k).
+        assert!(bench_check_verdict(90_000.0, &baseline, true).is_ok());
+        assert!(bench_check_verdict(90_000.0, &baseline, false).is_err());
+    }
+
+    #[test]
+    fn bench_check_rejects_baselines_without_a_suite_rate() {
+        let baseline = baseline_json(r#"{"kernels": []}"#);
+        let err = bench_check_verdict(1.0, &baseline, false).unwrap_err();
+        assert!(err.contains("suite_accesses_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn check_rejects_bad_options_before_running() {
+        assert!(cmd_check(&s(&["--bogus"])).is_err());
+        assert!(cmd_check(&s(&["--iters"])).is_err());
+        assert!(cmd_check(&s(&["--iters", "many"])).is_err());
+        assert!(cmd_check(&s(&["--seed", "0xzz"])).is_err());
+        assert!(cmd_check(&s(&["--max-len", "long"])).is_err());
     }
 }

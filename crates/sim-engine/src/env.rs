@@ -12,6 +12,7 @@
 //! | `SLIP_JOURNAL`        | run-journal path (enables resume)    | unset (off) |
 //! | `SLIP_TRACE_MODE`     | trace execution: `inline` \| `pipelined` \| `shared` | `shared` |
 //! | `SLIP_TRACE_CACHE_MB` | shared-trace cache budget in MiB (0 disables sharing) | 1024 |
+//! | `SLIP_FUZZ_ITERS`     | `slip check` differential-fuzz iteration budget | unset (mode default) |
 
 use crate::pipeline::TraceMode;
 use std::path::PathBuf;
@@ -57,6 +58,13 @@ pub const DEFAULT_TRACE_CACHE_MB: u64 = 1024;
 /// to pipelined regeneration; 0 disables sharing entirely.
 pub fn trace_cache_mb() -> u64 {
     parse_var("SLIP_TRACE_CACHE_MB").unwrap_or(DEFAULT_TRACE_CACHE_MB)
+}
+
+/// Differential-fuzz iteration budget for `slip check`
+/// (`SLIP_FUZZ_ITERS`); unset means the mode's default (quick 48,
+/// full 512).
+pub fn fuzz_iters() -> Option<u64> {
+    parse_var("SLIP_FUZZ_ITERS")
 }
 
 /// Trace execution mode (`SLIP_TRACE_MODE`); unknown or unset values

@@ -1,0 +1,44 @@
+//! Tier-2 figure-oracle regression gate: replays a reduced paper suite
+//! and asserts the EXPERIMENTS.md headline claims as data-driven bands.
+//!
+//! Ignored by default — it simulates tens of millions of accesses.
+//! Run it explicitly (nightly-equivalent) with:
+//!
+//! ```text
+//! cargo test -p slip-conformance --release -- --ignored figure_oracle
+//! ```
+//!
+//! or via the CLI: `slip check --oracle` (same bands, same code path).
+
+use sim_engine::SweepConfig;
+use slip_conformance::run_oracle;
+
+#[test]
+#[ignore = "tier-2: simulates the full suite; run with --ignored or `slip check --oracle`"]
+fn figure_oracle_headline_claims_hold() {
+    let report = run_oracle(1_000_000, &SweepConfig::with_jobs(sim_engine::env::jobs()))
+        .expect("oracle suite runs");
+    let failures: Vec<String> = report
+        .failures()
+        .into_iter()
+        .map(|row| row.to_string())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "figure oracle regressions:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The quick conformance sweep (fuzz + invariants) must be clean at a
+/// fixed seed — a cheap tier-2 smoke mirror of `slip check --quick`.
+#[test]
+#[ignore = "tier-2: ~30s of differential fuzzing; run with --ignored or `slip check --quick`"]
+fn quick_conformance_sweep_is_clean() {
+    let mut opts = slip_conformance::FuzzOptions::quick(0x511b);
+    opts.quiet = true;
+    let divergences = slip_conformance::run_fuzz(&opts);
+    assert!(divergences.is_empty(), "divergences: {divergences:?}");
+    let violations = slip_conformance::run_invariant_sweep(0x511b, 5_000, true);
+    assert!(violations.is_empty(), "violations: {violations:?}");
+}

@@ -22,9 +22,23 @@
 use crate::json::Value;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// True when a non-empty file does not end in `\n` — the signature of a
+/// write torn by a crash.
+fn file_lacks_final_newline(path: &Path) -> std::io::Result<bool> {
+    let mut f = File::open(path)?;
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Ok(false);
+    }
+    f.seek(SeekFrom::End(-1))?;
+    let mut last = [0u8; 1];
+    f.read_exact(&mut last)?;
+    Ok(last[0] != b'\n')
+}
 
 /// Journal line format version.
 pub const JOURNAL_VERSION: u64 = 1;
@@ -35,14 +49,20 @@ pub struct Journal {
     path: PathBuf,
     file: Mutex<File>,
     completed: HashMap<String, Value>,
+    skipped: usize,
 }
 
 impl Journal {
     /// Opens (or creates) the journal at `path`, loading every
-    /// well-formed line already present.
+    /// well-formed line already present. Torn or corrupt lines (a
+    /// truncated final write, a foreign format version) are skipped and
+    /// counted in [`skipped`](Self::skipped) — their cells simply
+    /// re-run — so one bad line never poisons the rest of the journal.
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Journal> {
         let path = path.as_ref().to_path_buf();
         let mut completed = HashMap::new();
+        let mut skipped = 0;
+        let mut torn_tail = false;
         if path.exists() {
             let reader = BufReader::new(File::open(&path)?);
             for line in reader.lines() {
@@ -50,25 +70,37 @@ impl Journal {
                 if line.trim().is_empty() {
                     continue;
                 }
-                // Tolerate torn/corrupt lines: a truncated final write
-                // must not poison the rest of the journal.
-                let Ok(v) = Value::parse(&line) else { continue };
+                let Ok(v) = Value::parse(&line) else {
+                    skipped += 1;
+                    continue;
+                };
                 if v.get("v").and_then(Value::as_u64) != Some(JOURNAL_VERSION) {
+                    skipped += 1;
                     continue;
                 }
                 let (Some(key), Some(payload)) =
                     (v.get("key").and_then(Value::as_str), v.get("payload"))
                 else {
+                    skipped += 1;
                     continue;
                 };
                 completed.insert(key.to_owned(), payload.clone());
             }
+            torn_tail = file_lacks_final_newline(&path)?;
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if torn_tail {
+            // A crash mid-append left a half-written final line. Seal it
+            // with a newline so fresh records never merge into the torn
+            // bytes (which would corrupt them too).
+            writeln!(file)?;
+            file.flush()?;
+        }
         Ok(Journal {
             path,
             file: Mutex::new(file),
             completed,
+            skipped,
         })
     }
 
@@ -86,6 +118,13 @@ impl Journal {
     /// Number of completed cells loaded at open time.
     pub fn loaded(&self) -> usize {
         self.completed.len()
+    }
+
+    /// Number of non-empty lines skipped at open time because they
+    /// were truncated, unparseable, of a foreign version, or missing
+    /// their key/payload.
+    pub fn skipped(&self) -> usize {
+        self.skipped
     }
 
     /// Appends one completed cell and flushes the line to disk.
@@ -155,8 +194,23 @@ mod tests {
         .unwrap();
         let j = Journal::open(&path).unwrap();
         assert_eq!(j.loaded(), 1);
+        assert_eq!(j.skipped(), 2, "torn + foreign-version lines counted");
         assert!(j.payload("ok").is_some());
         assert!(j.payload("wrong-version").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn clean_journals_report_zero_skips() {
+        let path = temp_path("clean");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path).unwrap();
+            assert_eq!(j.skipped(), 0, "fresh journal");
+            j.record("k", 1.0, Value::object(), Value::u64(7)).unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!((j.loaded(), j.skipped()), (1, 0));
         std::fs::remove_file(&path).unwrap();
     }
 

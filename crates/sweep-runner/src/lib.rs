@@ -124,6 +124,17 @@ where
         Some(path) => Some(Journal::open(path)?),
         None => None,
     };
+    if let Some(j) = &journal {
+        if j.skipped() > 0 && !opts.quiet {
+            eprintln!(
+                "{}: warning: skipped {} corrupt/truncated journal line(s) in {} \
+                 (their cells will re-run)",
+                opts.label,
+                j.skipped(),
+                j.path().display()
+            );
+        }
+    }
 
     // Restore completed cells; collect the rest as pending indices.
     let mut resolved: Vec<Option<T>> = keys.iter().map(|_| None).collect();
@@ -275,6 +286,61 @@ mod tests {
         .unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 2);
         assert_eq!(out, vec![0, 1]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_trailing_record_reruns_only_that_cell() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-sweep-truncated-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            jobs: 1,
+            journal: Some(path.clone()),
+            quiet: true,
+            label: "test".to_owned(),
+        };
+        let (enc, dec) = codec_u64();
+        let first = run_sweep(&keys(4), &opts, |i| i as u64 * 11, &enc, &dec).unwrap();
+
+        // Simulate a crash mid-append: cut the file in the middle of
+        // the last record, leaving a torn trailing line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let keep = text.len() - lines[3].len() / 2 - 1;
+        let truncated = &text[..keep];
+        assert!(
+            !truncated.ends_with('\n'),
+            "truncation must land inside the final record"
+        );
+        std::fs::write(&path, truncated).unwrap();
+
+        let j = Journal::open(&path).unwrap();
+        assert_eq!((j.loaded(), j.skipped()), (3, 1));
+        drop(j);
+
+        // Resume: the three intact cells restore, only the torn one
+        // re-runs, and results are identical to the pre-crash sweep.
+        let ran = AtomicUsize::new(0);
+        let second = run_sweep(
+            &keys(4),
+            &opts,
+            |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i as u64 * 11
+            },
+            &enc,
+            &dec,
+        )
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 1, "only the torn cell re-ran");
+        assert_eq!(second, first);
+
+        // The re-run appended a fresh record after the torn bytes; the
+        // journal heals on the next load.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!((j.loaded(), j.skipped()), (4, 1));
         std::fs::remove_file(&path).unwrap();
     }
 

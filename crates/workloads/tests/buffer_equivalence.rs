@@ -4,7 +4,9 @@
 //! `size_hint` throughout — for every suite workload, several seeds,
 //! and relocated (`trace_at`) address spaces.
 
-use workloads::{TraceBuffer, BENCHMARK_NAMES};
+use cache_sim::addr::LINE_BYTES;
+use cache_sim::{Access, AccessKind};
+use workloads::{pack_access, unpack_access, TraceBuffer, BENCHMARK_NAMES};
 
 const SEEDS: [u64; 3] = [0x511b, 1, 0xDEAD_BEEF];
 const LEN: u64 = 20_000;
@@ -67,4 +69,83 @@ fn default_chunking_matches_custom_chunking() {
     let default = TraceBuffer::materialize(spec.trace(LEN, 9));
     let custom = TraceBuffer::materialize_chunked(spec.trace(LEN, 9), 123);
     assert!(default.iter().eq(custom.iter()));
+}
+
+/// Every line-aligned address a packed word can carry: the word layout
+/// is `line << 1 | is_write`, so lines up to `2^58 - 1` (address
+/// `u64::MAX & !63`) must survive the round trip in both kinds.
+#[test]
+fn pack_unpack_round_trips_at_address_space_edges() {
+    let max_aligned = !(LINE_BYTES - 1);
+    let edge_addrs = [
+        0,
+        LINE_BYTES,
+        (1 << 32) - LINE_BYTES,
+        1 << 32,
+        (1 << 50) * LINE_BYTES, // first metadata-region line
+        max_aligned - LINE_BYTES,
+        max_aligned, // top-bit line address
+    ];
+    for addr in edge_addrs {
+        for kind in [AccessKind::Read, AccessKind::Write] {
+            let access = Access { addr, kind };
+            let word = pack_access(access);
+            assert_eq!(
+                unpack_access(word),
+                access,
+                "round trip at {addr:#x} {kind:?}"
+            );
+            assert_eq!(word & 1 == 1, kind.is_write(), "write flag at {addr:#x}");
+        }
+    }
+}
+
+/// The inverse direction over the full word range a buffer can hold
+/// (lines need 58 bits + 1 write bit): `pack(unpack(w)) == w`.
+#[test]
+fn unpack_pack_round_trips_across_the_word_range() {
+    let max_word = (u64::MAX >> 6 << 1) | 1; // top line, write set
+    let mut words = vec![0, 1, 2, 3, max_word, max_word - 1, max_word ^ 1];
+    // A spread of bit patterns across the whole range, both parities.
+    for shift in 1..58 {
+        words.push(1u64 << shift);
+        words.push((1u64 << shift) | 1);
+        words.push((1u64 << shift) - 1);
+    }
+    for word in words {
+        assert!(word <= max_word);
+        assert_eq!(pack_access(unpack_access(word)), word, "word {word:#x}");
+    }
+}
+
+/// Misaligned addresses must be rejected loudly, not silently truncated.
+#[test]
+#[should_panic(expected = "line-aligned")]
+fn pack_rejects_misaligned_addresses() {
+    pack_access(Access::read(63));
+}
+
+/// A buffer materialized from edge addresses replays them bit-exactly
+/// (the chunked path uses the same packed words).
+#[test]
+fn buffers_round_trip_edge_addresses() {
+    let max_aligned = !(LINE_BYTES - 1);
+    let accesses: Vec<Access> = (0..1000u64)
+        .map(|i| {
+            let addr = match i % 4 {
+                0 => i * LINE_BYTES,
+                1 => max_aligned - i * LINE_BYTES,
+                2 => (1 << 50) * LINE_BYTES + i * LINE_BYTES,
+                _ => (i << 33) & !(LINE_BYTES - 1),
+            };
+            if i % 3 == 0 {
+                Access::write(addr)
+            } else {
+                Access::read(addr)
+            }
+        })
+        .collect();
+    let buf = TraceBuffer::materialize_chunked(accesses.iter().copied(), 7);
+    assert_eq!(buf.len(), accesses.len() as u64);
+    assert!(buf.iter().eq(accesses.iter().copied()));
 }

@@ -21,6 +21,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# Conformance gate: bounded differential fuzz + invariant sweep at a
+# fixed seed, so every run covers the identical scenario set. Override
+# the iteration budget with SLIP_FUZZ_ITERS if the default is too slow
+# on a given machine. The nightly-equivalent full budget is:
+#   ./target/release/slip check --full --oracle
+echo "==> slip check --quick --seed 0x511b"
+SLIP_FUZZ_ITERS="${SLIP_FUZZ_ITERS:-48}" ./target/release/slip check --quick --seed 0x511b
+
 if command -v cargo-clippy >/dev/null 2>&1; then
     echo "==> cargo clippy -q --all-targets -- -D warnings"
     cargo clippy -q --all-targets -- -D warnings

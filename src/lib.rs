@@ -17,6 +17,8 @@
 //!   the `SLIPTRC1` trace-file format.
 //! * [`sim_engine`] — single/dual-core drivers and one experiment
 //!   runner per paper figure.
+//! * [`slip_conformance`] — differential fuzzer, executable invariants,
+//!   and the figure-oracle regression gate behind `slip check`.
 //!
 //! # Example
 //!
@@ -38,5 +40,6 @@ pub use energy_model;
 pub use mem_substrate;
 pub use nuca_baselines;
 pub use sim_engine;
+pub use slip_conformance;
 pub use slip_core;
 pub use workloads;
