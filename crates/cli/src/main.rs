@@ -67,7 +67,13 @@ usage:
   slip record <workload> <out.trc> [--accesses N] [--seed S]
   slip bench [--quick] [--out bench.json] [--check BENCH_4.json]
   slip check [--quick|--full] [--oracle] [--iters N] [--seed S] [--max-len N]
-             [--accesses N] [--jobs N]";
+             [--accesses N] [--jobs N]
+  slip serve [--addr HOST:PORT] [--jobs N] [--journal-dir DIR]
+             [--trace-cache-mb N] [--port-file FILE] [--quiet]
+  slip submit [workload ...] [--policy P]... [--accesses N] [--warmup N]
+              [--connect HOST:PORT] [--verify-offline] [--quiet]
+  slip submit --resume RUN_ID [--ack N] [--connect HOST:PORT]
+  slip submit --stats|--shutdown [--connect HOST:PORT]";
 
 fn dispatch(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -79,6 +85,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         Some("record") => cmd_record(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("submit") => cmd_submit(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -355,8 +363,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         quiet: false,
         trace_mode: o.trace_mode,
         trace_cache_mb: o.trace_cache_mb,
+        trace_cache: None,
+        // Ctrl-C stops dispatching cells and seals the journal so a
+        // re-run resumes instead of starting over.
+        cancel: Some(sweep_runner::interrupt::install()),
     };
-    let suite = SuiteResults::run_with(options, &sweep).map_err(|e| format!("journal: {e}"))?;
+    let suite = SuiteResults::run_with(options, &sweep).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::Interrupted {
+            "sweep interrupted; re-run with the same options to resume".to_owned()
+        } else {
+            format!("journal: {e}")
+        }
+    })?;
     let mut t = Table::new(
         format!(
             "energy savings vs baseline ({} accesses/benchmark, {} jobs)",
@@ -665,6 +683,182 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     } else {
         Err("conformance check failed (details above)".to_owned())
     }
+}
+
+/// Default loopback endpoint shared by `slip serve` and `slip submit`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7511";
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = slip_serve::ServerConfig::new("slip-serve-journals");
+    config.addr = DEFAULT_SERVE_ADDR.to_owned();
+    let mut port_file: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--jobs" => {
+                config.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--journal-dir" => config.journal_dir = PathBuf::from(value("--journal-dir")?),
+            "--trace-cache-mb" => {
+                config.trace_cache_mb = value("--trace-cache-mb")?
+                    .parse()
+                    .map_err(|e| format!("--trace-cache-mb: {e}"))?
+            }
+            "--port-file" => port_file = Some(PathBuf::from(value("--port-file")?)),
+            "--quiet" => config.quiet = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    let server = slip_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
+    if let Some(path) = port_file {
+        // Scripts bind port 0 and read the real endpoint back from here.
+        std::fs::write(&path, format!("{}\n", server.local_addr()))
+            .map_err(|e| format!("--port-file: {e}"))?;
+    }
+    server.run().map_err(|e| format!("serve: {e}"))
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut connect = DEFAULT_SERVE_ADDR.to_owned();
+    let mut spec = slip_serve::SweepSpec {
+        benchmarks: Vec::new(),
+        policies: Vec::new(),
+        accesses: 1_000_000,
+        warmup: 0,
+    };
+    let mut resume: Option<String> = None;
+    let mut ack: u64 = 0;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut verify_offline = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--connect" => connect = value("--connect")?,
+            "--policy" => spec.policies.push(value("--policy")?),
+            "--accesses" => {
+                spec.accesses = value("--accesses")?
+                    .parse()
+                    .map_err(|e| format!("--accesses: {e}"))?
+            }
+            "--warmup" => {
+                spec.warmup = value("--warmup")?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?
+            }
+            "--resume" => resume = Some(value("--resume")?),
+            "--ack" => ack = value("--ack")?.parse().map_err(|e| format!("--ack: {e}"))?,
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            "--verify-offline" => verify_offline = true,
+            "--quiet" => quiet = true,
+            other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
+            _ => spec.benchmarks.push(a.clone()),
+        }
+    }
+
+    if stats {
+        let value = slip_serve::client::stats(&connect).map_err(|e| format!("stats: {e}"))?;
+        println!("{}", value.to_json());
+        return Ok(());
+    }
+    if shutdown {
+        slip_serve::client::shutdown(&connect).map_err(|e| format!("shutdown: {e}"))?;
+        eprintln!("server at {connect} is draining");
+        return Ok(());
+    }
+
+    let mut stream = match &resume {
+        Some(run_id) => {
+            slip_serve::client::resume(&connect, run_id, ack).map_err(|e| format!("resume: {e}"))?
+        }
+        None => {
+            // Validate locally first: a typo should not cost a round trip.
+            spec.suite_options()?;
+            slip_serve::client::submit(&connect, &spec).map_err(|e| format!("submit: {e}"))?
+        }
+    };
+    if !quiet {
+        eprintln!(
+            "run {} ({} cells, from {}{})",
+            stream.run_id,
+            stream.cells,
+            stream.from,
+            if stream.joined { ", joined" } else { "" }
+        );
+    }
+    // One JSON line per cell on stdout; everything else goes to stderr
+    // so the stream pipes cleanly into files or other tools.
+    let mut cells = Vec::new();
+    while let Some((index, key, payload)) = stream.next_cell().map_err(|e| {
+        format!(
+            "stream: {e} (resume with: slip submit --resume {} --ack {})",
+            stream.run_id,
+            cells.len() as u64 + stream.from
+        )
+    })? {
+        println!(
+            "{}",
+            sweep_runner::json::Value::object()
+                .with("index", sweep_runner::json::Value::u64(index))
+                .with("key", sweep_runner::json::Value::str(&key))
+                .with("payload", payload.clone())
+                .to_json()
+        );
+        cells.push((index, key, payload));
+    }
+    let done = stream.done().expect("stream ended without done frame");
+    if !quiet {
+        eprintln!(
+            "done: {} cells ({} executed, {} restored)",
+            cells.len(),
+            done.executed,
+            done.restored
+        );
+    }
+
+    if verify_offline {
+        if resume.is_some() {
+            return Err("--verify-offline needs the full spec; use it with submit".to_owned());
+        }
+        let options = spec.suite_options()?;
+        let mut sweep = SweepConfig::with_jobs(sim_engine::env::jobs());
+        sweep.quiet = true;
+        let offline = SuiteResults::run_with(options.clone(), &sweep)
+            .map_err(|e| format!("offline sweep: {e}"))?;
+        let mut index = 0usize;
+        for &bench in &options.benchmarks {
+            for &policy in &options.policies {
+                let key = options.cell_key(bench, policy);
+                let expected = sim_engine::codec::encode_result(offline.get(bench, policy));
+                let (_, got_key, got) = &cells[index];
+                if got_key != &key || got.to_json() != expected.to_json() {
+                    return Err(format!(
+                        "cell {key} differs between server and offline sweep"
+                    ));
+                }
+                index += 1;
+            }
+        }
+        if !quiet {
+            eprintln!("verified: {index} cells bit-identical to offline sweep");
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

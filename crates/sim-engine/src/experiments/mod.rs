@@ -15,4 +15,4 @@ pub mod speedup;
 pub mod suite;
 pub mod traffic;
 
-pub use suite::{SuiteOptions, SuiteResults};
+pub use suite::{run_suite_cell, SuiteOptions, SuiteResults};

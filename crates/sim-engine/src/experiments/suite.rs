@@ -14,11 +14,11 @@ use crate::env;
 use crate::pipeline::{run_workload_from_buffer, run_workload_pipelined, TraceMode};
 use crate::result::SimResult;
 use crate::system::run_workload_with_warmup;
+use crate::trace_cache::{TraceCacheStats, TraceKey, TraceLru};
 use energy_model::TechnologyParams;
 use std::collections::HashMap;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use sweep_runner::json::Value;
 use sweep_runner::SweepOptions;
 use workloads::TraceBuffer;
@@ -144,10 +144,20 @@ pub struct SweepConfig {
     /// How cells obtain their access streams. All three modes are
     /// bit-identical; they differ only in throughput.
     pub trace_mode: TraceMode,
-    /// Shared-trace cache budget in MiB. A benchmark group whose
-    /// materialized trace would exceed the remaining budget falls back
-    /// to pipelined regeneration; 0 disables sharing entirely.
+    /// Shared-trace cache budget in MiB. A stream whose materialized
+    /// trace would exceed the whole budget falls back to pipelined
+    /// regeneration; 0 disables sharing entirely. Ignored when
+    /// [`SweepConfig::trace_cache`] supplies an external cache.
     pub trace_cache_mb: u64,
+    /// Externally owned trace cache shared across sweeps (the
+    /// `slip serve` daemon passes its server-wide LRU here); `None`
+    /// builds a sweep-local cache from [`SweepConfig::trace_cache_mb`].
+    pub trace_cache: Option<Arc<TraceLru>>,
+    /// Cooperative cancellation flag (e.g. the process SIGINT flag from
+    /// `sweep_runner::interrupt::install()`); when it trips, the sweep
+    /// stops dispatching cells, seals the journal, and errors with
+    /// [`std::io::ErrorKind::Interrupted`].
+    pub cancel: Option<&'static std::sync::atomic::AtomicBool>,
 }
 
 impl SweepConfig {
@@ -160,6 +170,8 @@ impl SweepConfig {
             quiet: false,
             trace_mode: env::trace_mode(),
             trace_cache_mb: env::trace_cache_mb(),
+            trace_cache: None,
+            cancel: None,
         }
     }
 
@@ -171,6 +183,8 @@ impl SweepConfig {
             quiet: true,
             trace_mode: TraceMode::Shared,
             trace_cache_mb: env::DEFAULT_TRACE_CACHE_MB,
+            trace_cache: None,
+            cancel: None,
         }
     }
 
@@ -182,6 +196,8 @@ impl SweepConfig {
             quiet: true,
             trace_mode: TraceMode::Shared,
             trace_cache_mb: env::DEFAULT_TRACE_CACHE_MB,
+            trace_cache: None,
+            cancel: None,
         }
     }
 
@@ -190,63 +206,55 @@ impl SweepConfig {
         self.trace_mode = mode;
         self
     }
+
+    /// Runs the sweep against an externally owned (e.g. server-wide)
+    /// trace cache instead of a sweep-local one.
+    pub fn with_trace_cache(mut self, cache: Arc<TraceLru>) -> Self {
+        self.trace_cache = Some(cache);
+        self
+    }
 }
 
-/// A materialized group: the seed the trace was generated with and the
-/// shared buffer itself.
-type GroupSlot = (u64, Arc<TraceBuffer>);
-
-/// Per-sweep cache of materialized traces, one slot per benchmark
-/// group. Every policy cell of one benchmark consumes the identical
-/// (workload, seed, warmup+len) stream, so the first cell of a group
-/// to execute materializes it once and the rest replay the shared
-/// buffer. Cells restored from the journal never touch the cache.
-struct TraceCache {
-    /// One lazily-filled slot per group: `None` once a group has been
-    /// ruled out (over budget), otherwise the seed it was materialized
-    /// with and the shared buffer.
-    groups: Vec<OnceLock<Option<GroupSlot>>>,
-    /// Remaining byte budget, debited as groups materialize.
-    budget: AtomicU64,
-}
-
-impl TraceCache {
-    fn new(groups: usize, budget_mb: u64) -> TraceCache {
-        TraceCache {
-            groups: (0..groups).map(|_| OnceLock::new()).collect(),
-            budget: AtomicU64::new(budget_mb.saturating_mul(1 << 20)),
+/// Runs one `(benchmark, policy)` cell exactly as
+/// [`SuiteResults::run_with`] would, returning the result and the
+/// `trace_source` metric label. Shared between the offline sweep and
+/// the `slip serve` daemon so both execution paths are bit-identical
+/// by construction: the trace mode and cache only change *how* the
+/// access stream is produced, never its contents.
+pub fn run_suite_cell(
+    options: &SuiteOptions,
+    bench: &str,
+    policy: PolicyKind,
+    trace_mode: TraceMode,
+    cache: Option<&TraceLru>,
+) -> (SimResult, Option<&'static str>) {
+    let spec = workloads::workload(bench).expect("known benchmark");
+    let config = options.cell_config(policy);
+    let pipelined = |config: SystemConfig| {
+        run_workload_pipelined(config, &spec, options.accesses, options.warmup)
+    };
+    match trace_mode {
+        TraceMode::Inline => (
+            run_workload_with_warmup(config, &spec, options.accesses, options.warmup),
+            None,
+        ),
+        TraceMode::Pipelined => (pipelined(config), Some("pipelined")),
+        TraceMode::Shared => {
+            let total = options.warmup + options.accesses;
+            let key = TraceKey::new(spec.name(), config.seed, total);
+            let shared = cache.and_then(|c| {
+                c.get_or_materialize(&key, || {
+                    TraceBuffer::materialize(spec.trace(total, config.seed))
+                })
+            });
+            match shared {
+                Some((buf, outcome)) => (
+                    run_workload_from_buffer(config, spec.name(), &buf, options.warmup),
+                    Some(outcome.label()),
+                ),
+                None => (pipelined(config), Some("pipelined")),
+            }
         }
-    }
-
-    /// The group's shared buffer, materializing on first use if
-    /// `accesses` packed words fit the remaining budget. `None` means
-    /// the caller must regenerate (group over budget, or — defensively
-    /// — a seed mismatch within the group).
-    fn buffer_for(
-        &self,
-        group: usize,
-        seed: u64,
-        accesses: u64,
-        materialize: impl FnOnce() -> TraceBuffer,
-    ) -> Option<Arc<TraceBuffer>> {
-        let slot = self.groups[group].get_or_init(|| {
-            self.take_budget(TraceBuffer::bytes_for(accesses))
-                .then(|| (seed, Arc::new(materialize())))
-        });
-        match slot {
-            Some((s, buf)) if *s == seed => Some(Arc::clone(buf)),
-            _ => None,
-        }
-    }
-
-    /// Atomically debits `bytes` from the budget; `false` (nothing
-    /// debited) when it does not fit.
-    fn take_budget(&self, bytes: u64) -> bool {
-        self.budget
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |left| {
-                left.checked_sub(bytes)
-            })
-            .is_ok()
     }
 }
 
@@ -255,6 +263,11 @@ impl TraceCache {
 pub struct SuiteResults {
     /// The options the suite ran with.
     pub options: SuiteOptions,
+    /// Trace-cache activity scoped to this sweep (`None` unless the
+    /// sweep ran in [`TraceMode::Shared`]); counters are deltas even
+    /// when the cache is a long-lived server-wide one. Serialize with
+    /// [`TraceCacheStats::to_value`].
+    pub trace_cache_stats: Option<TraceCacheStats>,
     results: HashMap<(String, PolicyKind), SimResult>,
 }
 
@@ -287,43 +300,27 @@ impl SuiteResults {
             journal: sweep.journal.clone(),
             quiet: sweep.quiet,
             label: "suite".to_owned(),
+            cancel: sweep.cancel,
         };
-        // Cells are benchmark-major, so the cells of one benchmark
-        // group are exactly `policies.len()` consecutive indices and
-        // share the identical (workload, seed, warmup+len) stream.
-        let per_group = options.policies.len().max(1);
-        let cache = TraceCache::new(options.benchmarks.len(), sweep.trace_cache_mb);
-        let total_accesses = options.warmup + options.accesses;
+        // Cells that share a (workload, seed, warmup+len) stream — all
+        // policy cells of one benchmark — share one cache entry; the
+        // first to execute materializes it. Cells restored from the
+        // journal never touch the cache.
+        let local_cache;
+        let cache: Option<&TraceLru> = match &sweep.trace_cache {
+            Some(shared) => Some(shared.as_ref()),
+            None => {
+                local_cache = TraceLru::new(sweep.trace_cache_mb);
+                Some(&local_cache)
+            }
+        };
+        let stats_before = cache.map(TraceLru::stats);
         let ran = sweep_runner::run_sweep(
             &keys,
             &sweep_options,
             |i| {
                 let (bench, policy) = cells[i];
-                let spec = workloads::workload(bench).expect("known benchmark");
-                let config = options.cell_config(policy);
-                let pipelined = |config: SystemConfig| {
-                    run_workload_pipelined(config, &spec, options.accesses, options.warmup)
-                };
-                match sweep.trace_mode {
-                    TraceMode::Inline => (
-                        run_workload_with_warmup(config, &spec, options.accesses, options.warmup),
-                        None,
-                    ),
-                    TraceMode::Pipelined => (pipelined(config), Some("pipelined")),
-                    TraceMode::Shared => {
-                        let seed = config.seed;
-                        let buffer = cache.buffer_for(i / per_group, seed, total_accesses, || {
-                            TraceBuffer::materialize(spec.trace(total_accesses, seed))
-                        });
-                        match buffer {
-                            Some(buf) => (
-                                run_workload_from_buffer(config, spec.name(), &buf, options.warmup),
-                                Some("shared"),
-                            ),
-                            None => (pipelined(config), Some("pipelined")),
-                        }
-                    }
-                }
+                run_suite_cell(&options, bench, policy, sweep.trace_mode, cache)
             },
             |(r, trace_source), wall| {
                 let mut metrics = codec::result_metrics(r, wall);
@@ -334,12 +331,31 @@ impl SuiteResults {
             },
             |p| codec::decode_result(p).map(|r| (r, None)),
         )?;
+        let trace_cache_stats = (sweep.trace_mode == TraceMode::Shared)
+            .then(|| Some(cache?.stats().delta_since(stats_before.as_ref()?)))
+            .flatten();
+        if let (false, Some(s)) = (sweep.quiet, &trace_cache_stats) {
+            eprintln!(
+                "[suite] trace cache: {} hits, {} misses, {} evictions, {} bypasses \
+                 ({} resident, {:.1} MiB)",
+                s.hits,
+                s.misses,
+                s.evictions,
+                s.bypasses,
+                s.resident_entries,
+                s.resident_bytes as f64 / (1 << 20) as f64,
+            );
+        }
         let results = cells
             .into_iter()
             .zip(ran)
             .map(|((b, p), (r, _))| ((b.to_owned(), p), r))
             .collect();
-        Ok(SuiteResults { options, results })
+        Ok(SuiteResults {
+            options,
+            trace_cache_stats,
+            results,
+        })
     }
 
     /// The result of one (benchmark, policy) cell, if it was part of
@@ -424,6 +440,11 @@ mod tests {
         // Savings are well-defined numbers.
         assert!(suite.l2_saving("gcc", PolicyKind::SlipAbp).is_finite());
         assert!(suite.l3_saving("gcc", PolicyKind::SlipAbp).is_finite());
+        // Shared mode reports cache activity: one stream materialized,
+        // the other cell of the group hits.
+        let stats = suite.trace_cache_stats.as_ref().unwrap();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(stats.evictions, 0);
     }
 
     #[test]

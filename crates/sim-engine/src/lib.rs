@@ -39,6 +39,7 @@ pub mod pipeline;
 pub mod report;
 pub mod result;
 pub mod system;
+pub mod trace_cache;
 
 pub use config::{PolicyKind, ReplacementKind, SystemConfig};
 pub use experiments::suite::SweepConfig;
@@ -47,3 +48,4 @@ pub use pipeline::{
 };
 pub use result::SimResult;
 pub use system::{run_workload, SingleCoreSystem};
+pub use trace_cache::{TraceCacheStats, TraceKey, TraceLru, TraceOutcome};

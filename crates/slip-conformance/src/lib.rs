@@ -15,6 +15,10 @@
 //! * [`oracle`] — EXPERIMENTS.md's headline table (signs, orderings,
 //!   tolerance bands) as data-driven assertions.
 //!
+//! Plus [`service`], which holds the `slip serve` daemon to the same
+//! standard: a server-executed cell must be bit-identical to the same
+//! cell from an offline `slip sweep`.
+//!
 //! The `slip check` CLI subcommand drives all three; `slip check
 //! --quick` is the CI gate, the same command with the full budget is
 //! the nightly run.
@@ -23,6 +27,7 @@ pub mod adversarial;
 pub mod differential;
 pub mod invariants;
 pub mod oracle;
+pub mod service;
 
 pub use adversarial::{generate, Pattern};
 pub use differential::{run_fuzz, Divergence, FuzzOptions, Scenario};
@@ -31,6 +36,7 @@ pub use invariants::{
     Invariant, Violation,
 };
 pub use oracle::{run_oracle, OracleReport, OracleRow};
+pub use service::check_serve_determinism;
 
 /// Runs the quick invariant sweep used by `slip check`: the standard
 /// invariants over one adversarial trace per (pattern, policy) pairing,
@@ -70,6 +76,12 @@ pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violat
         eprintln!("  invariants: Default-SLIP = plain cache lockstep");
     }
     if let Err(v) = check_default_slip_equivalence(seed, 40_000) {
+        violations.push(v);
+    }
+    if !quiet {
+        eprintln!("  invariants: serve = offline sweep, bit-exact");
+    }
+    if let Err(v) = service::check_serve_determinism(2_000, &std::env::temp_dir()) {
         violations.push(v);
     }
     violations

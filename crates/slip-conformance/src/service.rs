@@ -1,0 +1,107 @@
+//! Server-determinism check: a cell executed by the `slip serve`
+//! daemon must be bit-identical to the same cell executed by a plain
+//! offline `slip sweep`.
+//!
+//! The serve path differs from the offline path in every way that
+//! could plausibly leak into results — a shared worker pool, the
+//! server-wide trace LRU, journal persistence, JSON round trips over
+//! TCP — so this check boots a real loopback server, streams a small
+//! sweep through it, and compares the payloads byte for byte against
+//! [`SuiteResults::run_with`].
+
+use crate::invariants::Violation;
+use sim_engine::codec;
+use sim_engine::experiments::suite::SweepConfig;
+use sim_engine::experiments::SuiteResults;
+use slip_serve::{client, Server, ServerConfig, SweepSpec};
+use std::path::Path;
+
+/// Runs a 1-benchmark × 2-policy sweep through an in-process loopback
+/// server and through the offline sweep path, requiring bit-identical
+/// encoded results. `journal_dir` holds the throwaway server journal.
+pub fn check_serve_determinism(accesses: u64, journal_dir: &Path) -> Result<(), Violation> {
+    let violation = |detail: String| Violation {
+        invariant: "serve-determinism",
+        scenario: format!("gcc x [baseline, SLIP+ABP] @ {accesses} accesses via loopback serve"),
+        step: None,
+        detail,
+    };
+
+    let spec = SweepSpec {
+        benchmarks: vec!["gcc".into()],
+        policies: vec!["baseline".into(), "slip-abp".into()],
+        accesses,
+        warmup: 0,
+    };
+    let options = spec
+        .suite_options()
+        .map_err(|e| violation(format!("spec does not resolve: {e}")))?;
+
+    // Offline ground truth, through the exact path `slip sweep` uses.
+    let mut sweep = SweepConfig::with_jobs(2);
+    sweep.quiet = true;
+    let offline = SuiteResults::run_with(spec.suite_options().unwrap(), &sweep)
+        .map_err(|e| violation(format!("offline sweep failed: {e}")))?;
+
+    // The server side: fresh journal dir, two workers, one submission.
+    let dir = journal_dir.join(format!("serve-determinism-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = ServerConfig::new(&dir);
+    config.jobs = 2;
+    config.quiet = true;
+    let server = Server::bind(config).map_err(|e| violation(format!("bind: {e}")))?;
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run());
+    let streamed = (|| -> Result<Vec<(String, String)>, String> {
+        let mut stream = client::submit(addr, &spec).map_err(|e| e.to_string())?;
+        let cells = stream.collect_cells().map_err(|e| e.to_string())?;
+        Ok(cells
+            .into_iter()
+            .map(|(_, key, payload)| (key, payload.to_json()))
+            .collect())
+    })();
+    let _ = client::shutdown(addr);
+    let _ = handle.join();
+    let _ = std::fs::remove_dir_all(&dir);
+    let streamed = streamed.map_err(|e| violation(format!("serve round trip failed: {e}")))?;
+
+    let mut expected = Vec::new();
+    for &bench in &options.benchmarks {
+        for &policy in &options.policies {
+            expected.push((
+                options.cell_key(bench, policy),
+                codec::encode_result(offline.get(bench, policy)).to_json(),
+            ));
+        }
+    }
+    if streamed.len() != expected.len() {
+        return Err(violation(format!(
+            "server streamed {} cells, offline sweep has {}",
+            streamed.len(),
+            expected.len()
+        )));
+    }
+    for ((got_key, got), (want_key, want)) in streamed.iter().zip(&expected) {
+        if got_key != want_key {
+            return Err(violation(format!(
+                "cell order differs: server sent {got_key:?}, offline has {want_key:?}"
+            )));
+        }
+        if got != want {
+            return Err(violation(format!(
+                "cell {want_key} differs:\n    serve:   {got}\n    offline: {want}"
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_matches_offline_at_small_budget() {
+        check_serve_determinism(1_500, &std::env::temp_dir()).unwrap();
+    }
+}

@@ -1,0 +1,177 @@
+//! Client side of the serve protocol: one request per connection,
+//! streamed frames back.
+//!
+//! Used by `slip submit` and by the integration/conformance tests; the
+//! protocol is simple enough that `nc` works too, but this wrapper
+//! gives typed frames and sane errors.
+
+use crate::protocol::{Frame, Request, SweepSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use sweep_runner::json::Value;
+
+/// Converts a protocol-level failure into `io::Error`.
+fn proto_err(message: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message.into())
+}
+
+/// One request/response connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects and sends `request`; response frames are then read with
+    /// [`next_frame`](Client::next_frame).
+    pub fn request(addr: impl ToSocketAddrs, request: &Request) -> std::io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        let mut client = Client { reader, writer };
+        let line = request.to_value().to_json();
+        client.writer.write_all(line.as_bytes())?;
+        client.writer.write_all(b"\n")?;
+        client.writer.flush()?;
+        Ok(client)
+    }
+
+    /// Reads the next frame; `Err` on EOF, garbage, or an in-band
+    /// `error` frame (surfaced as `ErrorKind::Other` with the server's
+    /// message).
+    pub fn next_frame(&mut self) -> std::io::Result<Frame> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        match Frame::parse(line.trim_end()) {
+            Ok(Frame::Error { message }) => {
+                Err(std::io::Error::other(format!("server error: {message}")))
+            }
+            Ok(frame) => Ok(frame),
+            Err(e) => Err(proto_err(e)),
+        }
+    }
+}
+
+/// Stream preamble, as returned by [`submit`]/[`resume`].
+#[derive(Debug)]
+pub struct RunStream {
+    /// The run id (keep it: it is the resume token).
+    pub run_id: String,
+    /// Total cells in the run.
+    pub cells: u64,
+    /// Index of the first cell this stream will deliver.
+    pub from: u64,
+    /// Whether the request joined an already-running sweep.
+    pub joined: bool,
+    client: Client,
+    done: Option<RunDone>,
+}
+
+/// Stream trailer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDone {
+    /// Cells the run executed on the pool.
+    pub executed: u64,
+    /// Cells restored from journal or deduplicated against other runs.
+    pub restored: u64,
+}
+
+impl std::fmt::Debug for Client {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl RunStream {
+    /// The next `(index, key, payload)` cell, or `None` once the `done`
+    /// frame arrives (after which [`done`](RunStream::done) is `Some`).
+    pub fn next_cell(&mut self) -> std::io::Result<Option<(u64, String, Value)>> {
+        if self.done.is_some() {
+            return Ok(None);
+        }
+        match self.client.next_frame()? {
+            Frame::Cell {
+                index,
+                key,
+                payload,
+            } => Ok(Some((index, key, payload))),
+            Frame::Done {
+                executed, restored, ..
+            } => {
+                self.done = Some(RunDone { executed, restored });
+                Ok(None)
+            }
+            other => Err(proto_err(format!("unexpected frame {other:?}"))),
+        }
+    }
+
+    /// The trailer, once the stream has ended.
+    pub fn done(&self) -> Option<&RunDone> {
+        self.done.as_ref()
+    }
+
+    /// Drains the remaining cells into `(index, key, payload)` tuples.
+    pub fn collect_cells(&mut self) -> std::io::Result<Vec<(u64, String, Value)>> {
+        let mut cells = Vec::new();
+        while let Some(cell) = self.next_cell()? {
+            cells.push(cell);
+        }
+        Ok(cells)
+    }
+}
+
+/// Reads the stream preamble shared by submit and resume.
+fn open_stream(mut client: Client) -> std::io::Result<RunStream> {
+    match client.next_frame()? {
+        Frame::Hello {
+            run_id,
+            cells,
+            from,
+            joined,
+        } => Ok(RunStream {
+            run_id,
+            cells,
+            from,
+            joined,
+            client,
+            done: None,
+        }),
+        other => Err(proto_err(format!("expected hello, got {other:?}"))),
+    }
+}
+
+/// Submits a sweep and opens its cell stream from the beginning.
+pub fn submit(addr: impl ToSocketAddrs, spec: &SweepSpec) -> std::io::Result<RunStream> {
+    open_stream(Client::request(addr, &Request::Submit(spec.clone()))?)
+}
+
+/// Re-attaches to `run_id`, streaming cells from index `ack`.
+pub fn resume(addr: impl ToSocketAddrs, run_id: &str, ack: u64) -> std::io::Result<RunStream> {
+    open_stream(Client::request(
+        addr,
+        &Request::Resume {
+            run_id: run_id.to_owned(),
+            ack,
+        },
+    )?)
+}
+
+/// Fetches the server's stats frame.
+pub fn stats(addr: impl ToSocketAddrs) -> std::io::Result<Value> {
+    match Client::request(addr, &Request::Stats)?.next_frame()? {
+        Frame::Stats(v) => Ok(v),
+        other => Err(proto_err(format!("expected stats, got {other:?}"))),
+    }
+}
+
+/// Asks the server to drain and stop; returns once acknowledged.
+pub fn shutdown(addr: impl ToSocketAddrs) -> std::io::Result<()> {
+    match Client::request(addr, &Request::Shutdown)?.next_frame()? {
+        Frame::Bye => Ok(()),
+        other => Err(proto_err(format!("expected bye, got {other:?}"))),
+    }
+}

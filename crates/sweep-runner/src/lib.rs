@@ -21,7 +21,7 @@
 //! use sweep_runner::{json::Value, run_sweep, SweepOptions};
 //!
 //! let keys: Vec<String> = (0..8).map(|i| format!("cell-{i}")).collect();
-//! let opts = SweepOptions { jobs: 4, journal: None, quiet: true, label: "demo".into() };
+//! let opts = SweepOptions { jobs: 4, journal: None, quiet: true, label: "demo".into(), cancel: None };
 //! let squares = run_sweep(
 //!     &keys,
 //!     &opts,
@@ -32,17 +32,21 @@
 //! assert_eq!(squares[3], 9);
 //! ```
 
+pub mod interrupt;
 pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod progress;
 
 pub use journal::Journal;
-pub use pool::{available_jobs, run_indexed};
+pub use pool::{
+    available_jobs, run_indexed, run_indexed_cancellable, PoolBusy, QueueHandle, SharedPool,
+};
 
 use json::Value;
 use progress::Progress;
 use std::path::PathBuf;
+use std::sync::atomic::AtomicBool;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -57,6 +61,12 @@ pub struct SweepOptions {
     pub quiet: bool,
     /// Short sweep name shown in progress lines.
     pub label: String,
+    /// Cooperative cancellation flag (usually
+    /// [`interrupt::install`]'s SIGINT flag): once it reads true the
+    /// pool stops dispatching cells, in-flight cells finish and are
+    /// journaled, and [`run_sweep`] returns
+    /// [`std::io::ErrorKind::Interrupted`].
+    pub cancel: Option<&'static AtomicBool>,
 }
 
 impl SweepOptions {
@@ -68,6 +78,7 @@ impl SweepOptions {
             journal: None,
             quiet: true,
             label: "sweep".to_owned(),
+            cancel: None,
         }
     }
 
@@ -78,7 +89,14 @@ impl SweepOptions {
             journal: None,
             quiet: false,
             label: "sweep".to_owned(),
+            cancel: None,
         }
+    }
+
+    /// Attaches a cancellation flag.
+    pub fn with_cancel(mut self, cancel: &'static AtomicBool) -> SweepOptions {
+        self.cancel = Some(cancel);
+        self
     }
 }
 
@@ -105,8 +123,13 @@ impl Default for SweepOptions {
 ///
 /// # Errors
 ///
-/// Only journal I/O can fail; the sweep itself propagates panics from
-/// `run` after the worker scope joins.
+/// Journal I/O errors propagate. When the sweep's cancellation flag
+/// trips (`opts.cancel`, typically SIGINT) before every cell has run,
+/// the completed cells are already journaled — their records flush
+/// line-atomically, so the journal tail stays sealed — and the sweep
+/// returns [`std::io::ErrorKind::Interrupted`]; re-running with the
+/// same journal resumes from the completed set. Panics from `run`
+/// propagate after the worker scope joins.
 pub fn run_sweep<T, Run, Enc, Dec>(
     keys: &[String],
     opts: &SweepOptions,
@@ -154,7 +177,7 @@ where
     let progress = Progress::new(&opts.label, pending.len(), opts.quiet);
     let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
-    let ran = pool::run_indexed(pending.len(), opts.jobs, |j| {
+    let ran = pool::run_indexed_cancellable(pending.len(), opts.jobs, opts.cancel, |j| {
         let i = pending[j];
         let started = Instant::now();
         let value = run(i);
@@ -177,7 +200,29 @@ where
         return Err(e);
     }
 
-    for (j, value) in ran.into_iter().enumerate() {
+    if ran.len() < pending.len() {
+        // The cancellation flag tripped mid-sweep. Completed cells are
+        // journaled (each line flushed atomically), so the journal is a
+        // clean resumable prefix.
+        let done = ran.len();
+        let total = pending.len();
+        if !opts.quiet {
+            eprintln!(
+                "[{}] interrupted after {done}/{total} cells{}",
+                opts.label,
+                match &opts.journal {
+                    Some(p) => format!("; journal {} sealed, re-run to resume", p.display()),
+                    None => String::new(),
+                }
+            );
+        }
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Interrupted,
+            format!("sweep interrupted after {done}/{total} pending cells"),
+        ));
+    }
+
+    for (j, value) in ran {
         resolved[pending[j]] = Some(value);
     }
     progress.finish(from_journal);
@@ -202,6 +247,7 @@ mod tests {
             journal: None,
             quiet: true,
             label: "test".to_owned(),
+            cancel: None,
         }
     }
 
@@ -235,6 +281,7 @@ mod tests {
             journal: Some(path.clone()),
             quiet: true,
             label: "test".to_owned(),
+            cancel: None,
         };
         let executions = AtomicUsize::new(0);
         let run = |i: usize| {
@@ -268,6 +315,7 @@ mod tests {
             journal: Some(path.clone()),
             quiet: true,
             label: "test".to_owned(),
+            cancel: None,
         };
         let (enc, dec) = codec_u64();
         run_sweep(&keys(2), &opts, |i| i as u64, &enc, &dec).unwrap();
@@ -299,6 +347,7 @@ mod tests {
             journal: Some(path.clone()),
             quiet: true,
             label: "test".to_owned(),
+            cancel: None,
         };
         let (enc, dec) = codec_u64();
         let first = run_sweep(&keys(4), &opts, |i| i as u64 * 11, &enc, &dec).unwrap();
@@ -341,6 +390,63 @@ mod tests {
         // journal heals on the next load.
         let j = Journal::open(&path).unwrap();
         assert_eq!((j.loaded(), j.skipped()), (4, 1));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn interrupted_sweep_seals_a_resumable_journal() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-sweep-interrupt-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // A leaked flag stands in for the process-global SIGINT flag so
+        // this test cannot race other tests through shared state.
+        let flag: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+        let opts = SweepOptions {
+            jobs: 1,
+            journal: Some(path.clone()),
+            quiet: true,
+            label: "test".to_owned(),
+            cancel: Some(flag),
+        };
+        let (enc, dec) = codec_u64();
+        let err = run_sweep(
+            &keys(6),
+            &opts,
+            |i| {
+                if i == 2 {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                }
+                i as u64 * 3
+            },
+            &enc,
+            &dec,
+        )
+        .unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+
+        // The journal holds exactly the completed prefix, sealed: a
+        // clean reload sees no torn lines.
+        let j = Journal::open(&path).unwrap();
+        assert_eq!((j.loaded(), j.skipped()), (3, 0));
+        drop(j);
+
+        // Clearing the flag and re-running resumes: only the cells the
+        // interrupt skipped execute.
+        flag.store(false, std::sync::atomic::Ordering::SeqCst);
+        let ran = AtomicUsize::new(0);
+        let out = run_sweep(
+            &keys(6),
+            &opts,
+            |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                i as u64 * 3
+            },
+            &enc,
+            &dec,
+        )
+        .unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+        assert_eq!(out, (0..6).map(|i| i * 3).collect::<Vec<u64>>());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -18,7 +18,7 @@ use std::time::{Duration, Instant};
 
 /// Work accumulated across completed cells, for the end-of-sweep
 /// aggregate throughput line.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 struct Aggregate {
     /// Simulated accesses, summed from each cell's reported rate.
     accesses: f64,
@@ -28,10 +28,10 @@ struct Aggregate {
     /// rate, a zero/non-finite rate, or ~0 wall time are excluded, so
     /// the footer never divides by (almost) nothing.
     rated_cells: usize,
-    /// Cells that replayed a shared materialized trace.
-    shared_traces: usize,
-    /// Cells that regenerated their trace (pipelined fallback).
-    regenerated_traces: usize,
+    /// Cells counted per `trace_source` metric label (e.g. `cached`
+    /// cache hits vs `materialized` misses vs `pipelined`
+    /// regeneration), in first-seen order.
+    trace_sources: Vec<(String, usize)>,
 }
 
 /// Cells whose wall time rounds to nothing (tiny `--quick` cells) carry
@@ -80,10 +80,11 @@ impl Progress {
                     agg.rated_cells += 1;
                 }
             }
-            match trace_source {
-                Some("shared") => agg.shared_traces += 1,
-                Some(_) => agg.regenerated_traces += 1,
-                None => {}
+            if let Some(source) = trace_source {
+                match agg.trace_sources.iter_mut().find(|(s, _)| s == source) {
+                    Some((_, n)) => *n += 1,
+                    None => agg.trace_sources.push((source.to_owned(), 1)),
+                }
             }
         }
         if self.quiet {
@@ -122,7 +123,7 @@ impl Progress {
     /// rated cells (total simulated accesses over total per-cell wall
     /// time), or `None` when no cell reported a usable rate.
     pub fn aggregate_rate(&self) -> Option<f64> {
-        let agg = *self.aggregate.lock().unwrap();
+        let agg = self.aggregate.lock().unwrap();
         (agg.rated_cells > 0 && agg.cell_secs >= MIN_RATED_SECS)
             .then(|| agg.accesses / agg.cell_secs)
             .filter(|r| r.is_finite())
@@ -134,7 +135,7 @@ impl Progress {
         if self.quiet {
             return;
         }
-        let agg = *self.aggregate.lock().unwrap();
+        let agg = self.aggregate.lock().unwrap().clone();
         let mut detail = String::new();
         if let Some(rate) = self.aggregate_rate() {
             // Mean over the rated cells only; unrated cells would drag
@@ -142,11 +143,13 @@ impl Progress {
             let mean = agg.cell_secs / agg.rated_cells as f64;
             detail = format!(" ({:.0} kacc/s aggregate, {mean:.2}s/cell)", rate / 1e3);
         }
-        if agg.shared_traces + agg.regenerated_traces > 0 {
-            detail.push_str(&format!(
-                " [traces: {} shared, {} regenerated]",
-                agg.shared_traces, agg.regenerated_traces
-            ));
+        if !agg.trace_sources.is_empty() {
+            let counts: Vec<String> = agg
+                .trace_sources
+                .iter()
+                .map(|(s, n)| format!("{n} {s}"))
+                .collect();
+            detail.push_str(&format!(" [traces: {}]", counts.join(", ")));
         }
         eprintln!(
             "[{}] {} cells done ({from_journal} from journal) in {:.1}s{detail}",
@@ -234,16 +237,24 @@ mod tests {
     }
 
     #[test]
-    fn trace_sources_are_counted() {
-        let p = Progress::new("t", 3, true);
-        let shared = Value::object().with("trace_source", Value::str("shared"));
+    fn trace_sources_are_counted_per_label() {
+        let p = Progress::new("t", 4, true);
+        let cached = Value::object().with("trace_source", Value::str("cached"));
+        let materialized = Value::object().with("trace_source", Value::str("materialized"));
         let regen = Value::object().with("trace_source", Value::str("pipelined"));
-        p.cell_done("a", Duration::from_millis(5), &shared);
-        p.cell_done("b", Duration::from_millis(5), &shared);
-        p.cell_done("c", Duration::from_millis(5), &regen);
-        let agg = *p.aggregate.lock().unwrap();
-        assert_eq!(agg.shared_traces, 2);
-        assert_eq!(agg.regenerated_traces, 1);
+        p.cell_done("a", Duration::from_millis(5), &materialized);
+        p.cell_done("b", Duration::from_millis(5), &cached);
+        p.cell_done("c", Duration::from_millis(5), &cached);
+        p.cell_done("d", Duration::from_millis(5), &regen);
+        let agg = p.aggregate.lock().unwrap().clone();
+        assert_eq!(
+            agg.trace_sources,
+            vec![
+                ("materialized".to_owned(), 1),
+                ("cached".to_owned(), 2),
+                ("pipelined".to_owned(), 1)
+            ]
+        );
         p.finish(0);
     }
 }

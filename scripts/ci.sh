@@ -36,6 +36,53 @@ else
     echo "==> clippy not installed; skipping lint step"
 fi
 
+# Serve smoke: boot the daemon on an ephemeral loopback port, push a
+# small sweep through a real client with offline verification (the
+# submit exits non-zero on any byte difference), then shut down
+# gracefully. Everything is timeout-bounded so a wedged server fails
+# the gate instead of hanging it.
+echo "==> slip serve loopback smoke"
+SERVE_DIR="target/ci-serve"
+rm -rf "$SERVE_DIR"
+mkdir -p "$SERVE_DIR"
+./target/release/slip serve --addr 127.0.0.1:0 --jobs 2 \
+    --journal-dir "$SERVE_DIR/journals" --port-file "$SERVE_DIR/port" \
+    --quiet &
+SERVE_PID=$!
+tries=0
+while [ ! -s "$SERVE_DIR/port" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve smoke: server never wrote its port file" >&2
+        kill -9 "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+SERVE_ADDR="$(cat "$SERVE_DIR/port")"
+timeout 120 ./target/release/slip submit gcc soplex \
+    --policy baseline --policy slip --accesses 20000 \
+    --connect "$SERVE_ADDR" --verify-offline --quiet \
+    > "$SERVE_DIR/stream.jsonl"
+[ "$(wc -l < "$SERVE_DIR/stream.jsonl")" = "4" ] || {
+    echo "serve smoke: expected 4 streamed cells" >&2
+    kill -9 "$SERVE_PID" 2>/dev/null || true
+    exit 1
+}
+kill -INT "$SERVE_PID"
+tries=0
+while kill -0 "$SERVE_PID" 2>/dev/null; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 200 ]; then
+        echo "serve smoke: server did not drain within 20s of SIGINT" >&2
+        kill -9 "$SERVE_PID" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+wait "$SERVE_PID" 2>/dev/null || true
+rm -rf "$SERVE_DIR"
+
 # Perf-regression smoke: the quick microbench suite must stay within
 # 20% of the committed baseline (BENCH_4.json). Wall-clock sensitive,
 # so allow opting out on loaded/shared machines.

@@ -19,6 +19,9 @@
 //!   runner per paper figure.
 //! * [`slip_conformance`] — differential fuzzer, executable invariants,
 //!   and the figure-oracle regression gate behind `slip check`.
+//! * [`slip_serve`] — the `slip serve` daemon: a multi-tenant sweep
+//!   service with shared execution, a server-wide trace cache, and
+//!   journal-backed resumable result streams.
 //!
 //! # Example
 //!
@@ -42,4 +45,6 @@ pub use nuca_baselines;
 pub use sim_engine;
 pub use slip_conformance;
 pub use slip_core;
+pub use slip_serve;
+pub use sweep_runner;
 pub use workloads;
