@@ -37,7 +37,7 @@
 //! let res = cache.access(line, AccessKind::Read, AccessClass::Demand, 0,
 //!                        &mut policy, &mut repl);
 //! assert!(res.is_hit());
-//! assert!(cache.energy.total() > Energy::ZERO);
+//! assert!(cache.energy().total() > Energy::ZERO);
 //! ```
 
 pub mod addr;

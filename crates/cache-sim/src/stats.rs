@@ -129,6 +129,44 @@ impl CacheStats {
     pub fn record_insertion_class(&mut self, class: InsertionClass) {
         self.insertion_class[class.index()] += 1;
     }
+
+    /// Adds another level's counters into this one (field-wise integer
+    /// addition). Used by the set-sharded runner's reduction; because
+    /// every field is a count, merge order cannot change the result.
+    pub fn merge(&mut self, other: &CacheStats) {
+        assert_eq!(
+            self.hits_per_sublevel.len(),
+            other.hits_per_sublevel.len(),
+            "sublevel count mismatch"
+        );
+        self.demand_accesses += other.demand_accesses;
+        self.demand_hits += other.demand_hits;
+        self.demand_misses += other.demand_misses;
+        self.metadata_accesses += other.metadata_accesses;
+        self.metadata_hits += other.metadata_hits;
+        self.metadata_misses += other.metadata_misses;
+        for (dst, src) in self
+            .hits_per_sublevel
+            .iter_mut()
+            .zip(&other.hits_per_sublevel)
+        {
+            *dst += *src;
+        }
+        self.insertions += other.insertions;
+        for (dst, src) in self.insertion_class.iter_mut().zip(&other.insertion_class) {
+            *dst += *src;
+        }
+        self.bypasses += other.bypasses;
+        self.movements += other.movements;
+        self.promotions += other.promotions;
+        self.writebacks += other.writebacks;
+        self.evictions += other.evictions;
+        for (dst, src) in self.nr_histogram.iter_mut().zip(&other.nr_histogram) {
+            *dst += *src;
+        }
+        self.writeback_hits += other.writeback_hits;
+        self.writeback_misses += other.writeback_misses;
+    }
 }
 
 #[cfg(test)]

@@ -191,7 +191,7 @@ fn energy_is_monotone() {
             if !hit {
                 cache.fill(FillRequest::new(line), i as u64, &mut policy, &mut repl);
             }
-            let total = cache.energy.total();
+            let total = cache.energy().total();
             assert!(total >= prev);
             prev = total;
         }

@@ -21,6 +21,9 @@
 //!   --inclusive                                         model an inclusive LLC
 //!   --csv <path>                                        also write metrics as CSV
 //!   --jobs <N>          sweep/compare workers           (default SLIP_JOBS or all cores)
+//!   --shards <N>        set-shard workers per run; sharded runs are
+//!                       bit-identical to serial, and cells occupy
+//!                       jobs/shards pool slots each                (default SLIP_SHARDS or 1)
 //!   --journal <path>    JSONL run journal; a re-run with the same
 //!                       options resumes, skipping completed cells
 //!                                                       (default SLIP_JOURNAL)
@@ -59,16 +62,17 @@ const USAGE: &str = "\
 usage:
   slip list
   slip run <workload|file.trc> [--policy P] [--accesses N] [--seed S]
-           [--replacement R] [--inclusive] [--csv out.csv]
+           [--replacement R] [--inclusive] [--csv out.csv] [--shards N]
   slip compare <workload> [--accesses N] [--seed S] [--jobs N]
-  slip sweep [workload ...] [--accesses N] [--jobs N] [--journal run.jsonl]
+  slip sweep [workload ...] [--accesses N] [--jobs N] [--shards N]
+             [--journal run.jsonl]
              [--trace-mode inline|pipelined|shared] [--trace-cache-mb N]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]
-  slip bench [--quick] [--out bench.json] [--check BENCH_4.json]
+  slip bench [--quick] [--out bench.json] [--check BENCH_7.json]
   slip check [--quick|--full] [--oracle] [--iters N] [--seed S] [--max-len N]
              [--accesses N] [--jobs N]
-  slip serve [--addr HOST:PORT] [--jobs N] [--journal-dir DIR]
+  slip serve [--addr HOST:PORT] [--jobs N] [--shards N] [--journal-dir DIR]
              [--trace-cache-mb N] [--port-file FILE] [--quiet]
   slip submit [workload ...] [--policy P]... [--accesses N] [--warmup N]
               [--connect HOST:PORT] [--verify-offline] [--quiet]
@@ -102,6 +106,7 @@ struct Options {
     inclusive: bool,
     csv: Option<String>,
     jobs: usize,
+    shards: usize,
     journal: Option<PathBuf>,
     trace_mode: TraceMode,
     trace_cache_mb: u64,
@@ -117,6 +122,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         inclusive: false,
         csv: None,
         jobs: sim_engine::env::jobs(),
+        shards: sim_engine::env::shards(),
         journal: sim_engine::env::journal(),
         trace_mode: sim_engine::env::trace_mode(),
         trace_cache_mb: sim_engine::env::trace_cache_mb(),
@@ -160,6 +166,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 o.jobs = value("--jobs")?
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--shards" => {
+                o.shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--shards: {e}"))?
+                    .max(1)
             }
             "--journal" => o.journal = Some(PathBuf::from(value("--journal")?)),
             "--trace-mode" => {
@@ -215,7 +227,9 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         let spec = workloads::workload(target)
             .ok_or_else(|| format!("unknown workload {target:?} (try `slip list`)"))?;
-        run_workload(config_from(&o), &spec, o.accesses)
+        // Sharded and serial runs are bit-identical; --shards only
+        // changes how many threads step the simulation.
+        sim_engine::run_workload_sharded(config_from(&o), &spec, o.accesses, 0, o.shards)
     };
     print_result(&result);
     if let Some(path) = &o.csv {
@@ -359,6 +373,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .with_accesses(o.accesses);
     let sweep = SweepConfig {
         jobs: o.jobs,
+        shards: o.shards,
         journal: o.journal.clone(),
         quiet: false,
         trace_mode: o.trace_mode,
@@ -513,6 +528,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             s.name,
             s.accesses_per_sec / 1e3,
             s.cells,
+            s.wall_secs
+        );
+    }
+    let serial_run = report
+        .shard_runs
+        .iter()
+        .find(|s| s.name == "run/shards1")
+        .map(|s| s.accesses_per_sec);
+    for s in &report.shard_runs {
+        let vs_serial = match serial_run {
+            Some(base) if base > 0.0 => format!(", {:.2}x vs serial", s.accesses_per_sec / base),
+            _ => String::new(),
+        };
+        println!(
+            "{:<40} {:>9.0} kacc/s ({} accesses in {:.3}s{vs_serial})",
+            s.name,
+            s.accesses_per_sec / 1e3,
+            s.accesses,
             s.wall_secs
         );
     }
@@ -706,6 +739,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?
             }
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--shards: {e}"))?
+                    .max(1)
+            }
             "--journal-dir" => config.journal_dir = PathBuf::from(value("--journal-dir")?),
             "--trace-cache-mb" => {
                 config.trace_cache_mb = value("--trace-cache-mb")?
@@ -897,6 +936,8 @@ mod tests {
             "out.csv",
             "--jobs",
             "3",
+            "--shards",
+            "4",
             "--journal",
             "run.jsonl",
             "--trace-mode",
@@ -912,6 +953,7 @@ mod tests {
         assert!(o.inclusive);
         assert_eq!(o.csv.as_deref(), Some("out.csv"));
         assert_eq!(o.jobs, 3);
+        assert_eq!(o.shards, 4);
         assert_eq!(
             o.journal.as_deref(),
             Some(std::path::Path::new("run.jsonl"))
@@ -935,6 +977,7 @@ mod tests {
         assert!(parse_options(&s(&["--accesses", "many"])).is_err());
         assert!(parse_options(&s(&["--csv"])).is_err());
         assert!(parse_options(&s(&["--jobs", "few"])).is_err());
+        assert!(parse_options(&s(&["--shards", "some"])).is_err());
         assert!(parse_options(&s(&["--journal"])).is_err());
         assert!(parse_options(&s(&["--trace-mode", "magic"])).is_err());
         assert!(parse_options(&s(&["--trace-cache-mb", "lots"])).is_err());

@@ -164,6 +164,156 @@ impl fmt::Display for EnergyAccount {
     }
 }
 
+/// Integer event ledger behind a cache level's [`EnergyAccount`].
+///
+/// Instead of accumulating floating-point energy on every event, the hot
+/// path counts *events* (per way for the way-priced categories, plus flat
+/// metadata / movement-queue counters) and the account is rebuilt on demand
+/// by [`EnergyLedger::to_account`] with one multiply per (category, way)
+/// pair. Because the ledger is pure integers, merging the ledgers of two
+/// set-shards and then finalizing is bit-identical to finalizing the serial
+/// ledger — the property the set-sharded runner relies on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnergyLedger {
+    ways: usize,
+    /// `WAY_CATEGORIES.len()` blocks of `ways` counters each.
+    way_counts: Vec<u64>,
+    /// Events priced at the level's metadata energy, charged to `Metadata`.
+    metadata_events: u64,
+    /// Events priced at the level's metadata energy, charged to `Access`
+    /// (metadata-class hits read the metadata array, not a data way).
+    access_metadata_events: u64,
+    /// Movement-queue lookups, priced at the level's MVQ lookup energy.
+    mvq_events: u64,
+}
+
+impl EnergyLedger {
+    /// Categories whose events are priced by the way they touch, in the
+    /// fixed order used for both storage and finalization.
+    pub const WAY_CATEGORIES: [EnergyCategory; 4] = [
+        EnergyCategory::Access,
+        EnergyCategory::Movement,
+        EnergyCategory::Insertion,
+        EnergyCategory::Writeback,
+    ];
+
+    /// Creates an empty ledger for a level with `ways` ways.
+    pub fn new(ways: usize) -> Self {
+        Self {
+            ways,
+            way_counts: vec![0; Self::WAY_CATEGORIES.len() * ways],
+            metadata_events: 0,
+            access_metadata_events: 0,
+            mvq_events: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, category: EnergyCategory, way: usize) -> usize {
+        let ci = category.index();
+        debug_assert!(ci < Self::WAY_CATEGORIES.len(), "not a way category");
+        debug_assert!(way < self.ways);
+        ci * self.ways + way
+    }
+
+    /// Records one event of a way-priced `category` at `way`.
+    #[inline]
+    pub fn count_way(&mut self, category: EnergyCategory, way: usize) {
+        let slot = self.slot(category, way);
+        self.way_counts[slot] += 1;
+    }
+
+    /// Records `n` events of a way-priced `category` at `way`.
+    #[inline]
+    pub fn count_way_n(&mut self, category: EnergyCategory, way: usize, n: u64) {
+        let slot = self.slot(category, way);
+        self.way_counts[slot] += n;
+    }
+
+    /// Records one metadata-priced event charged to `Metadata`.
+    #[inline]
+    pub fn count_metadata(&mut self) {
+        self.metadata_events += 1;
+    }
+
+    /// Records one metadata-priced event charged to `Access`.
+    #[inline]
+    pub fn count_access_metadata(&mut self) {
+        self.access_metadata_events += 1;
+    }
+
+    /// Records one movement-queue lookup.
+    #[inline]
+    pub fn count_mvq(&mut self) {
+        self.mvq_events += 1;
+    }
+
+    /// Number of recorded events for a way-priced `category` at `way`.
+    pub fn way_count(&self, category: EnergyCategory, way: usize) -> u64 {
+        self.way_counts[self.slot(category, way)]
+    }
+
+    /// Adds another ledger's counts into this one. Pure integer addition,
+    /// so merge order cannot perturb the finalized account.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        assert_eq!(self.ways, other.ways, "ledger geometry mismatch");
+        for (dst, src) in self.way_counts.iter_mut().zip(&other.way_counts) {
+            *dst += *src;
+        }
+        self.metadata_events += other.metadata_events;
+        self.access_metadata_events += other.access_metadata_events;
+        self.mvq_events += other.mvq_events;
+    }
+
+    /// Clears all counters.
+    pub fn reset(&mut self) {
+        self.way_counts.fill(0);
+        self.metadata_events = 0;
+        self.access_metadata_events = 0;
+        self.mvq_events = 0;
+    }
+
+    /// Rebuilds the account: one `energy * count` multiply per slot, folded
+    /// in the fixed `WAY_CATEGORIES`-then-way order so the result is a pure
+    /// function of the counts regardless of how they were accumulated.
+    pub fn to_account(
+        &self,
+        way_energy: &[Energy],
+        metadata_energy: Energy,
+        mvq_energy: Energy,
+    ) -> EnergyAccount {
+        assert_eq!(way_energy.len(), self.ways, "way energy table mismatch");
+        let mut acct = EnergyAccount::new();
+        for (ci, &cat) in Self::WAY_CATEGORIES.iter().enumerate() {
+            for (way, &e) in way_energy.iter().enumerate() {
+                let n = self.way_counts[ci * self.ways + way];
+                if n != 0 {
+                    acct.charge(cat, e * n as f64);
+                }
+            }
+        }
+        if self.access_metadata_events != 0 {
+            acct.charge(
+                EnergyCategory::Access,
+                metadata_energy * self.access_metadata_events as f64,
+            );
+        }
+        if self.metadata_events != 0 {
+            acct.charge(
+                EnergyCategory::Metadata,
+                metadata_energy * self.metadata_events as f64,
+            );
+        }
+        if self.mvq_events != 0 {
+            acct.charge(
+                EnergyCategory::MovementQueue,
+                mvq_energy * self.mvq_events as f64,
+            );
+        }
+        acct
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -213,6 +363,76 @@ mod tests {
         let s = a.to_string();
         assert!(s.contains("dram"));
         assert!(!s.contains("movement"));
+    }
+
+    #[test]
+    fn ledger_rebuilds_account_from_counts() {
+        let ways = [Energy::from_pj(10.0), Energy::from_pj(30.0)];
+        let mut l = EnergyLedger::new(2);
+        l.count_way(EnergyCategory::Access, 0);
+        l.count_way_n(EnergyCategory::Movement, 1, 3);
+        l.count_way(EnergyCategory::Insertion, 1);
+        l.count_way(EnergyCategory::Writeback, 0);
+        l.count_metadata();
+        l.count_access_metadata();
+        l.count_mvq();
+        let a = l.to_account(&ways, Energy::from_pj(2.0), Energy::from_pj(0.5));
+        assert_eq!(a.get(EnergyCategory::Access).as_pj(), 10.0 + 2.0);
+        assert_eq!(a.get(EnergyCategory::Movement).as_pj(), 90.0);
+        assert_eq!(a.get(EnergyCategory::Insertion).as_pj(), 30.0);
+        assert_eq!(a.get(EnergyCategory::Writeback).as_pj(), 10.0);
+        assert_eq!(a.get(EnergyCategory::Metadata).as_pj(), 2.0);
+        assert_eq!(a.get(EnergyCategory::MovementQueue).as_pj(), 0.5);
+        assert_eq!(l.way_count(EnergyCategory::Movement, 1), 3);
+    }
+
+    #[test]
+    fn ledger_merge_then_finalize_is_bit_exact() {
+        // Awkward energies so any floating-point reassociation would show.
+        let ways = [
+            Energy::from_pj(0.1),
+            Energy::from_pj(1.0 / 3.0),
+            Energy::from_pj(7.77e-3),
+        ];
+        let meta = Energy::from_pj(0.061);
+        let mvq = Energy::from_pj(0.013);
+        let mut serial = EnergyLedger::new(3);
+        let mut shards = [EnergyLedger::new(3), EnergyLedger::new(3)];
+        let mut state = 0x1234_5678_u64;
+        for i in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cat = EnergyLedger::WAY_CATEGORIES[(state >> 33) as usize % 4];
+            let way = (state >> 17) as usize % 3;
+            serial.count_way(cat, way);
+            shards[i % 2].count_way(cat, way);
+            if state.is_multiple_of(5) {
+                serial.count_metadata();
+                shards[i % 2].count_metadata();
+            }
+            if state.is_multiple_of(7) {
+                serial.count_mvq();
+                shards[i % 2].count_mvq();
+            }
+        }
+        let mut merged = shards[0].clone();
+        merged.merge(&shards[1]);
+        assert_eq!(merged, serial);
+        let a = serial.to_account(&ways, meta, mvq);
+        let b = merged.to_account(&ways, meta, mvq);
+        for c in EnergyCategory::ALL {
+            assert_eq!(a.get(c).as_pj().to_bits(), b.get(c).as_pj().to_bits());
+        }
+    }
+
+    #[test]
+    fn ledger_reset_clears_all_counts() {
+        let mut l = EnergyLedger::new(1);
+        l.count_way(EnergyCategory::Access, 0);
+        l.count_metadata();
+        l.count_access_metadata();
+        l.count_mvq();
+        l.reset();
+        assert_eq!(l, EnergyLedger::new(1));
     }
 
     #[test]

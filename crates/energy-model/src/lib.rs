@@ -28,7 +28,7 @@ pub mod account;
 pub mod params;
 pub mod topology;
 
-pub use account::{EnergyAccount, EnergyCategory};
+pub use account::{EnergyAccount, EnergyCategory, EnergyLedger};
 pub use params::{LevelEnergyParams, TechnologyParams, TECH_22NM, TECH_45NM};
 pub use topology::{BankGrid, Topology, WireParams};
 

@@ -13,6 +13,10 @@ pub const DRAM_LATENCY_CYCLES: u32 = 100;
 
 /// The DRAM backing store: pure traffic/energy accounting.
 ///
+/// Energy is derived from the transfer counters on demand (one multiply
+/// per counter), so two shards' counters can be summed and the combined
+/// energy is bit-identical to a serial run's.
+///
 /// # Example
 ///
 /// ```
@@ -24,7 +28,7 @@ pub const DRAM_LATENCY_CYCLES: u32 = 100;
 /// dram.read_line();
 /// dram.write_line();
 /// assert_eq!(dram.demand_transfers(), 2);
-/// assert_eq!(dram.energy.total().as_nj(), 2.0 * 10.24);
+/// assert_eq!(dram.energy().total().as_nj(), 2.0 * 10.24);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dram {
@@ -39,8 +43,6 @@ pub struct Dram {
     pub metadata_reads: u64,
     /// Distribution-metadata writes.
     pub metadata_writes: u64,
-    /// Energy account (Dram and Metadata categories).
-    pub energy: EnergyAccount,
 }
 
 impl Dram {
@@ -54,7 +56,6 @@ impl Dram {
             writes: 0,
             metadata_reads: 0,
             metadata_writes: 0,
-            energy: EnergyAccount::new(),
         }
     }
 
@@ -76,29 +77,23 @@ impl Dram {
     /// Reads one demand line; returns the latency.
     pub fn read_line(&mut self) -> u32 {
         self.reads += 1;
-        self.energy.charge(EnergyCategory::Dram, self.line_energy);
         self.latency
     }
 
     /// Writes one demand line (a writeback that reached DRAM).
     pub fn write_line(&mut self) {
         self.writes += 1;
-        self.energy.charge(EnergyCategory::Dram, self.line_energy);
     }
 
     /// Reads one page's 32 b distribution metadata; returns the latency.
     pub fn read_metadata(&mut self) -> u32 {
         self.metadata_reads += 1;
-        self.energy
-            .charge(EnergyCategory::Metadata, self.metadata_energy);
         self.latency
     }
 
     /// Writes one page's distribution metadata back.
     pub fn write_metadata(&mut self) {
         self.metadata_writes += 1;
-        self.energy
-            .charge(EnergyCategory::Metadata, self.metadata_energy);
     }
 
     /// Demand line transfers (reads + writes), the paper's "DRAM
@@ -112,13 +107,41 @@ impl Dram {
         self.demand_transfers() + self.metadata_reads + self.metadata_writes
     }
 
-    /// Clears all counters and energy (for post-warmup measurement).
+    /// Energy account (Dram and Metadata categories), rebuilt from the
+    /// transfer counters.
+    pub fn energy(&self) -> EnergyAccount {
+        let mut acct = EnergyAccount::new();
+        if self.demand_transfers() != 0 {
+            acct.charge(
+                EnergyCategory::Dram,
+                self.line_energy * self.demand_transfers() as f64,
+            );
+        }
+        let metadata = self.metadata_reads + self.metadata_writes;
+        if metadata != 0 {
+            acct.charge(
+                EnergyCategory::Metadata,
+                self.metadata_energy * metadata as f64,
+            );
+        }
+        acct
+    }
+
+    /// Adds another DRAM model's transfer counters into this one (the
+    /// set-sharded runner's reduction step).
+    pub fn absorb(&mut self, other: &Dram) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.metadata_reads += other.metadata_reads;
+        self.metadata_writes += other.metadata_writes;
+    }
+
+    /// Clears all counters (for post-warmup measurement).
     pub fn reset_measurements(&mut self) {
         self.reads = 0;
         self.writes = 0;
         self.metadata_reads = 0;
         self.metadata_writes = 0;
-        self.energy = EnergyAccount::new();
     }
 }
 
@@ -134,7 +157,7 @@ mod tests {
     fn line_transfer_energy_matches_paper() {
         let mut d = dram_45nm();
         assert_eq!(d.read_line(), 100);
-        assert_eq!(d.energy.get(EnergyCategory::Dram).as_pj(), 10_240.0);
+        assert_eq!(d.energy().get(EnergyCategory::Dram).as_pj(), 10_240.0);
     }
 
     #[test]
@@ -142,7 +165,10 @@ mod tests {
         let mut d = dram_45nm();
         d.read_metadata();
         d.write_metadata();
-        assert_eq!(d.energy.get(EnergyCategory::Metadata).as_pj(), 2.0 * 640.0);
+        assert_eq!(
+            d.energy().get(EnergyCategory::Metadata).as_pj(),
+            2.0 * 640.0
+        );
         assert_eq!(d.metadata_reads, 1);
         assert_eq!(d.metadata_writes, 1);
         // Metadata does not count as demand traffic.
@@ -159,5 +185,30 @@ mod tests {
         assert_eq!(d.reads, 2);
         assert_eq!(d.writes, 1);
         assert_eq!(d.demand_transfers(), 3);
+    }
+
+    #[test]
+    fn absorb_sums_counters_bit_exactly() {
+        let mut serial = dram_45nm();
+        let mut a = dram_45nm();
+        let mut b = dram_45nm();
+        for i in 0..100 {
+            serial.read_line();
+            if i % 2 == 0 {
+                a.read_line();
+            } else {
+                b.read_line();
+            }
+            if i % 3 == 0 {
+                serial.write_metadata();
+                a.write_metadata();
+            }
+        }
+        a.absorb(&b);
+        assert_eq!(a, serial);
+        assert_eq!(
+            a.energy().total().as_pj().to_bits(),
+            serial.energy().total().as_pj().to_bits()
+        );
     }
 }

@@ -73,7 +73,7 @@ mod tests {
         let way = c.probe_way(addr).unwrap();
         assert_eq!(c.geometry().sublevel(way), 0, "{}", policy.name());
         if c.stats.promotions > 0 {
-            assert!(c.energy.get(EnergyCategory::Movement) > Energy::ZERO);
+            assert!(c.energy().get(EnergyCategory::Movement) > Energy::ZERO);
         }
     }
 

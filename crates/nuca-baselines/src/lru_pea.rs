@@ -19,7 +19,10 @@ use cache_sim::{CacheGeometry, LineState, WayMask};
 pub struct LruPea {
     sublevel_masks: Vec<WayMask>,
     weights: Vec<u64>,
-    rng: SplitMix64,
+    /// One deterministic stream per set, so the cluster chosen for a
+    /// fill is a pure function of that set's fill history (which lets a
+    /// set-shard of the cache reproduce the serial choices exactly).
+    rngs: Vec<SplitMix64>,
 }
 
 impl LruPea {
@@ -34,10 +37,13 @@ impl LruPea {
         assert!(s >= 1, "need at least one sublevel");
         let sublevel_masks: Vec<WayMask> = (0..s).map(|i| geom.sublevel_ways(i)).collect();
         let weights = sublevel_masks.iter().map(|m| m.count() as u64).collect();
+        let rngs = (0..geom.sets as u64)
+            .map(|set| SplitMix64::new(seed.wrapping_add(set.wrapping_mul(0x9E3779B97F4A7C15))))
+            .collect();
         LruPea {
             sublevel_masks,
             weights,
-            rng: SplitMix64::new(seed),
+            rngs,
         }
     }
 }
@@ -47,8 +53,9 @@ impl PlacementPolicy for LruPea {
         "LRU-PEA"
     }
 
-    fn insertion_mask(&mut self, _geom: &CacheGeometry, _req: &FillRequest) -> Option<WayMask> {
-        let pick = self.rng.pick_weighted(&self.weights);
+    fn insertion_mask(&mut self, geom: &CacheGeometry, req: &FillRequest) -> Option<WayMask> {
+        let set = geom.set_of(req.addr);
+        let pick = self.rngs[set].pick_weighted(&self.weights);
         Some(self.sublevel_masks[pick])
     }
 

@@ -115,6 +115,9 @@ pub struct BenchReport {
     /// The trace-mode sweep A/B (inline vs pipelined vs shared),
     /// interleaved in the same measurement window.
     pub sweep_modes: Vec<SweepModeResult>,
+    /// The set-sharding A/B: one single run at 1, 2, and 4 shards,
+    /// interleaved in the same measurement window.
+    pub shard_runs: Vec<SystemResult>,
     /// Geometric mean of the system throughputs — the suite's headline
     /// number and the value regression checks compare.
     pub suite_accesses_per_sec: f64,
@@ -145,6 +148,15 @@ impl BenchReport {
                     .with("accesses_per_sec", Value::f64(s.accesses_per_sec)),
             )
         });
+        let shard_runs = self.shard_runs.iter().fold(Value::object(), |o, s| {
+            o.with(
+                &s.name,
+                Value::object()
+                    .with("accesses", Value::u64(s.accesses))
+                    .with("wall_secs", Value::f64(s.wall_secs))
+                    .with("accesses_per_sec", Value::f64(s.accesses_per_sec)),
+            )
+        });
         Value::object()
             .with("schema", Value::str("slip-bench/1"))
             .with(
@@ -154,6 +166,7 @@ impl BenchReport {
             .with("kernels_ns_per_iter", kernels)
             .with("systems", systems)
             .with("sweep_modes", sweeps)
+            .with("shard_runs", shard_runs)
             .with(
                 "suite_accesses_per_sec",
                 Value::f64(self.suite_accesses_per_sec),
@@ -268,6 +281,55 @@ fn kernel_benches(quick: bool) -> Vec<KernelResult> {
                 target,
                 samples,
             ),
+        });
+    }
+
+    // Widened SWAR tag probe: a full 16-way set compared as u64×4 lane
+    // groups in one pass. The set is filled completely and the probed
+    // line sits at the highest way, so every probe runs the whole wide
+    // pass plus one full-address verify — the hit-path worst case.
+    {
+        let mut cache = CacheLevel::new("L2", config.l2_geometry());
+        let mut policy = BaselinePolicy::new();
+        let mut repl = Lru::new();
+        let sets = config.l2_geometry().sets as u64;
+        let ways = config.l2_geometry().ways as u64;
+        for i in 0..ways {
+            cache.fill(
+                FillRequest::new(LineAddr(7 + i * sets)),
+                i,
+                &mut policy,
+                &mut repl,
+            );
+        }
+        let line = LineAddr(7 + (ways - 1) * sets);
+        out.push(KernelResult {
+            name: "probe/wide".to_owned(),
+            ns_per_iter: calibrated_ns(|| cache.probe_way(line), target, samples),
+        });
+    }
+
+    // EOU argmin over all 2^S SLIPs: the 4-row SIMD-style dot/argmin
+    // against its scalar reference, same distribution, so the report
+    // shows the widening win directly.
+    {
+        let params = LevelModelParams::from_level(
+            &energy_model::TECH_45NM.l3,
+            energy_model::TECH_45NM.dram_line_energy(),
+        );
+        let eou = EnergyOptimizerUnit::new(&params);
+        let mut dist = RdDistribution::paper_default();
+        for bin in [0usize, 1, 1, 2, 3, 0, 2, 3, 3] {
+            dist.observe(bin);
+        }
+        let probs = dist.probabilities();
+        out.push(KernelResult {
+            name: "eou/simd".to_owned(),
+            ns_per_iter: calibrated_ns(|| eou.best_slip(&probs), target, samples),
+        });
+        out.push(KernelResult {
+            name: "eou/scalar".to_owned(),
+            ns_per_iter: calibrated_ns(|| eou.best_slip_scalar(&probs), target, samples),
         });
     }
 
@@ -398,11 +460,48 @@ fn sweep_mode_benches(quick: bool) -> Vec<SweepModeResult> {
         .collect()
 }
 
+/// The set-sharding A/B: one single run (gcc/Baseline over one
+/// pre-materialized trace) executed at 1, 2, and 4 shards, repetitions
+/// interleaved round-robin so every shard count sees the same
+/// measurement window. Timed on the wall clock — shard workers run on
+/// their own threads, invisible to the calling thread's CPU clock. The
+/// shards=1 entry takes the serial fallback path, so the ratio is the
+/// true single-run parallel speedup.
+fn shard_run_benches(quick: bool) -> Vec<SystemResult> {
+    let accesses: u64 = if quick { 150_000 } else { 600_000 };
+    let reps = if quick { 3 } else { 5 };
+    let config = SystemConfig::paper_45nm(PolicyKind::Baseline);
+    let spec = workloads::workload("gcc").expect("known benchmark");
+    let buffer = TraceBuffer::materialize(spec.trace(accesses, config.seed));
+    let shard_counts = [1usize, 2, 4];
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        for (i, &shards) in shard_counts.iter().enumerate() {
+            let t = Instant::now();
+            let r = crate::shard::run_buffer_sharded(config.clone(), "gcc", &buffer, 0, shards);
+            let secs = t.elapsed().as_secs_f64();
+            std::hint::black_box(r);
+            best[i] = best[i].min(secs);
+        }
+    }
+    shard_counts
+        .iter()
+        .zip(best)
+        .map(|(&shards, secs)| SystemResult {
+            name: format!("run/shards{shards}"),
+            accesses,
+            wall_secs: secs,
+            accesses_per_sec: accesses as f64 / secs,
+        })
+        .collect()
+}
+
 /// Runs the whole suite. `quick` trades precision for CI speed.
 pub fn run(quick: bool) -> BenchReport {
     let kernels = kernel_benches(quick);
     let systems = system_benches(quick);
     let sweep_modes = sweep_mode_benches(quick);
+    let shard_runs = shard_run_benches(quick);
     let geomean =
         systems.iter().map(|s| s.accesses_per_sec.ln()).sum::<f64>() / systems.len() as f64;
     BenchReport {
@@ -410,6 +509,7 @@ pub fn run(quick: bool) -> BenchReport {
         kernels,
         systems,
         sweep_modes,
+        shard_runs,
         suite_accesses_per_sec: geomean.exp(),
     }
 }
@@ -460,6 +560,12 @@ mod tests {
                 wall_secs: 2.0,
                 accesses_per_sec: 5000.0,
             }],
+            shard_runs: vec![SystemResult {
+                name: "run/shards4".into(),
+                accesses: 1000,
+                wall_secs: 0.125,
+                accesses_per_sec: 8000.0,
+            }],
             suite_accesses_per_sec: 2000.0,
         };
         let v = report.to_value();
@@ -477,6 +583,16 @@ mod tests {
         assert_eq!(
             v.get("suite_accesses_per_sec").unwrap().as_f64(),
             Some(2000.0)
+        );
+        assert_eq!(
+            v.get("shard_runs")
+                .unwrap()
+                .get("run/shards4")
+                .unwrap()
+                .get("accesses_per_sec")
+                .unwrap()
+                .as_f64(),
+            Some(8000.0)
         );
         let k = v.get("kernels_ns_per_iter").unwrap();
         assert_eq!(k.get("k/one").unwrap().as_f64(), Some(12.5));

@@ -182,6 +182,7 @@ pub fn result_metrics(r: &SimResult, wall: std::time::Duration) -> Value {
         0.0
     };
     Value::object()
+        .with("accesses", Value::u64(r.accesses))
         .with("accesses_per_sec", Value::f64(rate))
         .with("cell_wall_secs", Value::f64(secs))
         .with("sim_wall_secs", Value::f64(r.wall_time_secs))

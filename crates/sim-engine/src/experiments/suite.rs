@@ -144,6 +144,12 @@ pub struct SweepConfig {
     /// How cells obtain their access streams. All three modes are
     /// bit-identical; they differ only in throughput.
     pub trace_mode: TraceMode,
+    /// Set-shard workers per cell (1 = serial). Sharded execution is
+    /// bit-identical to serial; configurations with global policy
+    /// state (SLIP, DRRIP, SHiP) fall back to serial transparently.
+    /// When above 1, the sweep divides its worker count by the shard
+    /// count so `jobs × shards` never oversubscribes the pool.
+    pub shards: usize,
     /// Shared-trace cache budget in MiB. A stream whose materialized
     /// trace would exceed the whole budget falls back to pipelined
     /// regeneration; 0 disables sharing entirely. Ignored when
@@ -169,6 +175,7 @@ impl SweepConfig {
             journal: env::journal(),
             quiet: false,
             trace_mode: env::trace_mode(),
+            shards: env::shards(),
             trace_cache_mb: env::trace_cache_mb(),
             trace_cache: None,
             cancel: None,
@@ -182,6 +189,7 @@ impl SweepConfig {
             journal: None,
             quiet: true,
             trace_mode: TraceMode::Shared,
+            shards: 1,
             trace_cache_mb: env::DEFAULT_TRACE_CACHE_MB,
             trace_cache: None,
             cancel: None,
@@ -195,9 +203,28 @@ impl SweepConfig {
             journal: None,
             quiet: true,
             trace_mode: TraceMode::Shared,
+            shards: 1,
             trace_cache_mb: env::DEFAULT_TRACE_CACHE_MB,
             trace_cache: None,
             cancel: None,
+        }
+    }
+
+    /// Overrides the per-cell shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Worker count after shard arbitration: cells each occupy
+    /// `shards` threads, so the dispatcher gets `jobs / shards`
+    /// workers (at least one) and the pool stays at or under `jobs`
+    /// threads total.
+    pub fn effective_jobs(&self) -> usize {
+        if self.shards > 1 {
+            (self.jobs / self.shards).max(1)
+        } else {
+            self.jobs
         }
     }
 
@@ -227,16 +254,41 @@ pub fn run_suite_cell(
     policy: PolicyKind,
     trace_mode: TraceMode,
     cache: Option<&TraceLru>,
+    shards: usize,
 ) -> (SimResult, Option<&'static str>) {
     let spec = workloads::workload(bench).expect("known benchmark");
     let config = options.cell_config(policy);
+    let shards = crate::shard::effective_shards(shards, &config);
     let pipelined = |config: SystemConfig| {
         run_workload_pipelined(config, &spec, options.accesses, options.warmup)
     };
     match trace_mode {
         TraceMode::Inline => (
-            run_workload_with_warmup(config, &spec, options.accesses, options.warmup),
-            None,
+            if shards > 1 {
+                crate::shard::run_workload_sharded(
+                    config,
+                    &spec,
+                    options.accesses,
+                    options.warmup,
+                    shards,
+                )
+            } else {
+                run_workload_with_warmup(config, &spec, options.accesses, options.warmup)
+            },
+            (shards > 1).then_some("sharded"),
+        ),
+        // Sharding replaces the single producer/consumer pair: each
+        // shard regenerates the trace on its own thread, so pipelining
+        // would only add a redundant producer.
+        TraceMode::Pipelined if shards > 1 => (
+            crate::shard::run_workload_sharded(
+                config,
+                &spec,
+                options.accesses,
+                options.warmup,
+                shards,
+            ),
+            Some("sharded"),
         ),
         TraceMode::Pipelined => (pipelined(config), Some("pipelined")),
         TraceMode::Shared => {
@@ -248,9 +300,29 @@ pub fn run_suite_cell(
                 })
             });
             match shared {
+                Some((buf, _)) if shards > 1 => (
+                    crate::shard::run_buffer_sharded(
+                        config,
+                        spec.name(),
+                        &buf,
+                        options.warmup,
+                        shards,
+                    ),
+                    Some("sharded"),
+                ),
                 Some((buf, outcome)) => (
                     run_workload_from_buffer(config, spec.name(), &buf, options.warmup),
                     Some(outcome.label()),
+                ),
+                None if shards > 1 => (
+                    crate::shard::run_workload_sharded(
+                        config,
+                        &spec,
+                        options.accesses,
+                        options.warmup,
+                        shards,
+                    ),
+                    Some("sharded"),
                 ),
                 None => (pipelined(config), Some("pipelined")),
             }
@@ -296,7 +368,7 @@ impl SuiteResults {
             .collect();
         let keys: Vec<String> = cells.iter().map(|&(b, p)| options.cell_key(b, p)).collect();
         let sweep_options = SweepOptions {
-            jobs: sweep.jobs,
+            jobs: sweep.effective_jobs(),
             journal: sweep.journal.clone(),
             quiet: sweep.quiet,
             label: "suite".to_owned(),
@@ -320,7 +392,14 @@ impl SuiteResults {
             &sweep_options,
             |i| {
                 let (bench, policy) = cells[i];
-                run_suite_cell(&options, bench, policy, sweep.trace_mode, cache)
+                run_suite_cell(
+                    &options,
+                    bench,
+                    policy,
+                    sweep.trace_mode,
+                    cache,
+                    sweep.shards,
+                )
             },
             |(r, trace_source), wall| {
                 let mut metrics = codec::result_metrics(r, wall);
@@ -445,6 +524,38 @@ mod tests {
         let stats = suite.trace_cache_stats.as_ref().unwrap();
         assert_eq!((stats.misses, stats.hits), (1, 1));
         assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn sharded_cells_match_serial_cells_bit_exactly() {
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_policies(&[PolicyKind::NuRapid, PolicyKind::SlipAbp])
+            .with_accesses(20_000);
+        let serial = SuiteResults::run_with(opts.clone(), &SweepConfig::serial()).unwrap();
+        let sharded = SuiteResults::run_with(opts, &SweepConfig::serial().with_shards(4)).unwrap();
+        for policy in [
+            PolicyKind::Baseline,
+            PolicyKind::NuRapid,
+            PolicyKind::SlipAbp,
+        ] {
+            let a = codec::encode_result(serial.get("gcc", policy)).to_json();
+            let b = codec::encode_result(sharded.get("gcc", policy)).to_json();
+            assert_eq!(a, b, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn effective_jobs_divides_the_pool_between_cells_and_shards() {
+        let sweep = SweepConfig::with_jobs(8);
+        assert_eq!(sweep.effective_jobs(), 8);
+        assert_eq!(sweep.clone().with_shards(2).effective_jobs(), 4);
+        assert_eq!(sweep.clone().with_shards(4).effective_jobs(), 2);
+        // More shards than workers: one cell at a time.
+        assert_eq!(sweep.clone().with_shards(16).effective_jobs(), 1);
+        assert_eq!(SweepConfig::serial().with_shards(4).effective_jobs(), 1);
+        // with_shards(0) normalizes to serial.
+        assert_eq!(sweep.with_shards(0).effective_jobs(), 8);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod multicore;
 pub mod pipeline;
 pub mod report;
 pub mod result;
+pub mod shard;
 pub mod system;
 pub mod trace_cache;
 
@@ -47,5 +48,6 @@ pub use pipeline::{
     run_mix_pipelined, run_workload_from_buffer, run_workload_pipelined, TraceMode,
 };
 pub use result::SimResult;
+pub use shard::{effective_shards, run_buffer_sharded, run_workload_sharded, shardable};
 pub use system::{run_workload, SingleCoreSystem};
 pub use trace_cache::{TraceCacheStats, TraceKey, TraceLru, TraceOutcome};

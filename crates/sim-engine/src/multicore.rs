@@ -33,7 +33,6 @@ struct Core {
     l2_repl: ReplBox,
     cycles: u64,
     accesses: u64,
-    core_energy: Energy,
 }
 
 /// Result of one two-core run.
@@ -161,7 +160,6 @@ impl DualCoreSystem {
             l2_repl,
             cycles: 0,
             accesses: 0,
-            core_energy: Energy::ZERO,
         }
     }
 
@@ -175,7 +173,6 @@ impl DualCoreSystem {
         let page = access.page();
         let core = &mut self.cores[core_idx];
         core.accesses += 1;
-        core.core_energy += self.config.core_energy_per_access;
         let mut latency = self.config.core_cycles_per_access;
 
         let (slip_codes, sampling) = if let Some(mmu) = core.mmu.as_mut() {
@@ -476,7 +473,7 @@ impl DualCoreSystem {
         let mut l2_stats = CacheStats::new(self.cores[0].l2.geometry().sublevels());
         for c in &self.cores {
             let eou = c.mmu.as_ref().map_or(Energy::ZERO, |m| m.eou_energy());
-            l2_energy += c.l2.energy.total() + eou * 0.5;
+            l2_energy += c.l2.energy().total() + eou * 0.5;
             l3_eou += eou * 0.5;
             merge_stats(&mut l2_stats, &c.l2.stats);
         }
@@ -486,7 +483,7 @@ impl DualCoreSystem {
             cycles: [self.cores[0].cycles, self.cores[1].cycles],
             accesses: [self.cores[0].accesses, self.cores[1].accesses],
             l2_energy,
-            l3_energy: self.l3.energy.total() + l3_eou,
+            l3_energy: self.l3.energy().total() + l3_eou,
             l3_stats: self.l3.stats.clone(),
             l2_stats,
             dram_demand_traffic: self.dram.reads + self.dram.writes,
@@ -494,7 +491,7 @@ impl DualCoreSystem {
                 + self.dram.writes
                 + self.dram.metadata_reads
                 + self.dram.metadata_writes,
-            dram_energy: self.dram.energy.clone(),
+            dram_energy: self.dram.energy(),
         }
     }
 }

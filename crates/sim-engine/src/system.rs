@@ -43,7 +43,6 @@ pub struct SingleCoreSystem {
     l3_cum_caps: Vec<usize>,
     cycles: u64,
     accesses: u64,
-    core_energy: Energy,
     /// Reusable fill-outcome buffer: every fill at every level writes
     /// into this scratch via `fill_into`, so the steady-state access
     /// loop performs no per-access allocation.
@@ -143,7 +142,6 @@ impl SingleCoreSystem {
             l3_cum_caps,
             cycles: 0,
             accesses: 0,
-            core_energy: Energy::ZERO,
             fill_scratch: FillOutcome::default(),
         }
         .with_dram()
@@ -169,7 +167,6 @@ impl SingleCoreSystem {
         let line = access.line();
         let page = access.page();
         self.accesses += 1;
-        self.core_energy += self.config.core_energy_per_access;
         let mut latency = self.config.core_cycles_per_access;
 
         // --- Translation (SLIP only) ---
@@ -482,7 +479,24 @@ impl SingleCoreSystem {
         }
         self.cycles = 0;
         self.accesses = 0;
-        self.core_energy = Energy::ZERO;
+    }
+
+    /// Folds another system's measurements into this one — the
+    /// set-sharded runner's reduction step. Both systems must share a
+    /// configuration; only statistics merge (integer counters and the
+    /// energy ledgers), never architectural state. The SLIP MMU carries
+    /// global state and is never sharded, so `other` must not have one.
+    pub fn absorb(&mut self, other: &mut SingleCoreSystem) {
+        assert!(
+            other.mmu.is_none(),
+            "SLIP systems carry global MMU state and cannot be sharded"
+        );
+        self.l1.absorb_stats(&mut other.l1);
+        self.l2.absorb_stats(&mut other.l2);
+        self.l3.absorb_stats(&mut other.l3);
+        self.dram.absorb(&other.dram);
+        self.cycles += other.cycles;
+        self.accesses += other.accesses;
     }
 
     /// Finalizes statistics and extracts the result.
@@ -498,17 +512,17 @@ impl SingleCoreSystem {
             l1_stats: self.l1.stats.clone(),
             l2_stats: self.l2.stats.clone(),
             l3_stats: self.l3.stats.clone(),
-            l1_energy: self.l1.energy.clone(),
-            l2_energy: self.l2.energy.clone(),
-            l3_energy: self.l3.energy.clone(),
+            l1_energy: self.l1.energy(),
+            l2_energy: self.l2.energy(),
+            l3_energy: self.l3.energy(),
             dram_reads: self.dram.reads,
             dram_writes: self.dram.writes,
             dram_metadata_reads: self.dram.metadata_reads,
             dram_metadata_writes: self.dram.metadata_writes,
-            dram_energy: self.dram.energy.clone(),
+            dram_energy: self.dram.energy(),
             mmu_stats: self.mmu.as_ref().map(|m| m.stats),
             eou_energy: self.mmu.as_ref().map_or(Energy::ZERO, |m| m.eou_energy()),
-            core_energy: self.core_energy,
+            core_energy: self.config.core_energy_per_access * self.accesses as f64,
             wall_time_secs: 0.0,
         }
     }

@@ -28,6 +28,7 @@ pub mod differential;
 pub mod invariants;
 pub mod oracle;
 pub mod service;
+pub mod shard;
 
 pub use adversarial::{generate, Pattern};
 pub use differential::{run_fuzz, Divergence, FuzzOptions, Scenario};
@@ -37,10 +38,12 @@ pub use invariants::{
 };
 pub use oracle::{run_oracle, OracleReport, OracleRow};
 pub use service::check_serve_determinism;
+pub use shard::check_shard_determinism;
 
 /// Runs the quick invariant sweep used by `slip check`: the standard
 /// invariants over one adversarial trace per (pattern, policy) pairing,
-/// plus the standalone EOU and Default-SLIP equivalence checks.
+/// plus the standalone EOU, Default-SLIP, serve-determinism, and
+/// shard-determinism equivalence checks.
 /// Returns every violation found (empty = clean).
 pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violation> {
     use sim_engine::config::{PolicyKind, SystemConfig};
@@ -82,6 +85,9 @@ pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violat
         eprintln!("  invariants: serve = offline sweep, bit-exact");
     }
     if let Err(v) = service::check_serve_determinism(2_000, &std::env::temp_dir()) {
+        violations.push(v);
+    }
+    if let Err(v) = shard::check_shard_determinism(seed, trace_len, quiet) {
         violations.push(v);
     }
     violations

@@ -1,0 +1,114 @@
+//! Shard-determinism check: a set-sharded run must be bit-identical to
+//! the serial run of the same configuration over the same trace.
+//!
+//! This is the conformance-side guarantee backing `--shards`: sharding
+//! is purely an execution strategy, never a modeling change. The check
+//! replays adversarial trace families (the same generator the
+//! differential fuzzer uses, so conflict storms, tag aliases, address
+//! edges and TLB thrash are all represented) through the serial buffer
+//! runner and through [`run_buffer_sharded`] at 2 and 4 shards, and
+//! compares the encoded results byte for byte. Non-shardable
+//! configurations (SLIP's global MMU) are included too: they must fall
+//! back to the serial path transparently, not diverge *or* panic.
+
+use crate::adversarial::{self, Pattern};
+use crate::invariants::Violation;
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::{codec, run_buffer_sharded, run_workload_from_buffer};
+use workloads::TraceBuffer;
+
+/// Where two JSON payloads first differ, with a little context — enough
+/// to name the diverging field without dumping two full results.
+fn first_difference(a: &str, b: &str) -> String {
+    let at = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    let start = at.saturating_sub(40);
+    let excerpt = |s: &str| -> String {
+        s.get(start..(at + 40).min(s.len()))
+            .unwrap_or("<non-utf8 boundary>")
+            .to_owned()
+    };
+    format!(
+        "first divergence at byte {at}:\n    serial:  …{}…\n    sharded: …{}…",
+        excerpt(a),
+        excerpt(b)
+    )
+}
+
+/// Replays one adversarial trace per (pattern, policy) case serially
+/// and at 2 and 4 shards, requiring bit-identical encoded results.
+/// A slice of the trace is treated as warmup so the sharded global
+/// warmup-boundary reset is exercised as well.
+pub fn check_shard_determinism(seed: u64, trace_len: u64, quiet: bool) -> Result<(), Violation> {
+    // Every shardable policy appears, plus DRRIP/SHiP replacement and
+    // the SLIP policies, which must take the transparent serial
+    // fallback rather than shard.
+    let cases: [(Pattern, PolicyKind, Option<sim_engine::ReplacementKind>); 7] = [
+        (Pattern::ConflictStorm, PolicyKind::Baseline, None),
+        (Pattern::TagAlias, PolicyKind::NuRapid, None),
+        (Pattern::PhaseChange, PolicyKind::LruPea, None),
+        (Pattern::MaxAddressEdge, PolicyKind::Baseline, None),
+        (Pattern::SingleLineLoop, PolicyKind::LruPea, None),
+        (
+            Pattern::RandomMix,
+            PolicyKind::Baseline,
+            Some(sim_engine::ReplacementKind::Drrip),
+        ),
+        (Pattern::TlbThrash, PolicyKind::SlipAbp, None),
+    ];
+    for (i, (pattern, policy, replacement)) in cases.into_iter().enumerate() {
+        let scenario = format!("{pattern}/{policy:?}");
+        if !quiet {
+            eprintln!("  shard-determinism: {scenario}");
+        }
+        let trace = adversarial::generate(pattern, seed ^ ((i as u64) << 8), trace_len);
+        let buffer = TraceBuffer::materialize(trace.iter().copied());
+        let mut config = SystemConfig::paper_45nm(policy);
+        if let Some(r) = replacement {
+            config.replacement = r;
+        }
+        let warmup = trace_len / 8;
+        let serial = run_workload_from_buffer(config.clone(), &scenario, &buffer, warmup);
+        let want = codec::encode_result(&serial).to_json();
+        for shards in [2usize, 4] {
+            let sharded = run_buffer_sharded(config.clone(), &scenario, &buffer, warmup, shards);
+            let got = codec::encode_result(&sharded).to_json();
+            if got != want {
+                return Err(Violation {
+                    invariant: "shard-determinism",
+                    scenario,
+                    step: None,
+                    detail: format!(
+                        "{shards}-shard run is not bit-identical to serial \
+                         (seed {seed:#x}, {trace_len} accesses, warmup {warmup});\n  {}",
+                        first_difference(&want, &got)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_runs_match_serial_over_adversarial_families() {
+        if let Err(v) = check_shard_determinism(0x511b, 4_000, true) {
+            panic!("{v}");
+        }
+    }
+
+    #[test]
+    fn first_difference_pinpoints_the_field() {
+        let a = r#"{"accesses":100,"cycles":900}"#;
+        let b = r#"{"accesses":100,"cycles":901}"#;
+        let d = first_difference(a, b);
+        assert!(d.contains("cycles"), "{d}");
+    }
+}

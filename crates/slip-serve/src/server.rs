@@ -63,8 +63,14 @@ const SPEC_KEY: &str = "__spec__";
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads executing cells.
+    /// Worker threads executing cells (the total thread budget; see
+    /// [`shards`](ServerConfig::shards)).
     pub jobs: usize,
+    /// Set-shard workers per cell (1 = serial). Cells occupy `shards`
+    /// threads each, so the pool runs `jobs / shards` cells at once —
+    /// the thread budget stays `jobs` either way. Results are
+    /// bit-identical at any shard count.
+    pub shards: usize,
     /// Maximum simultaneously active runs (pool admission limit);
     /// further submissions get a `server busy` error frame.
     pub max_runs: usize,
@@ -85,11 +91,23 @@ impl ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             jobs: env::jobs(),
+            shards: env::shards(),
             max_runs: 32,
             max_conns: 64,
             journal_dir: journal_dir.into(),
             trace_cache_mb: env::trace_cache_mb(),
             quiet: false,
+        }
+    }
+
+    /// Pool worker count after the jobs × shards arbitration: sharded
+    /// cells each occupy `shards` threads, so the pool gets
+    /// `jobs / shards` workers (at least one).
+    pub fn effective_jobs(&self) -> usize {
+        if self.shards > 1 {
+            (self.jobs / self.shards).max(1)
+        } else {
+            self.jobs.max(1)
         }
     }
 }
@@ -349,6 +367,7 @@ impl ServerState {
             policy,
             TraceMode::Shared,
             Some(&self.cache),
+            self.config.shards,
         );
         let wall = started.elapsed();
         let mut metrics = codec::result_metrics(&result, wall);
@@ -549,7 +568,10 @@ impl Server {
         let addr = listener.local_addr()?;
         std::fs::create_dir_all(&config.journal_dir)?;
         let state = Arc::new(ServerState {
-            pool: Mutex::new(Some(SharedPool::new(config.jobs, config.max_runs))),
+            pool: Mutex::new(Some(SharedPool::new(
+                config.effective_jobs(),
+                config.max_runs,
+            ))),
             cache: Arc::new(TraceLru::new(config.trace_cache_mb)),
             runs: Mutex::new(HashMap::new()),
             cells: Mutex::new(HashMap::new()),

@@ -20,13 +20,16 @@ use std::time::{Duration, Instant};
 /// aggregate throughput line.
 #[derive(Debug, Default, Clone)]
 struct Aggregate {
-    /// Simulated accesses, summed from each cell's reported rate.
+    /// Simulated accesses: the cell's raw `accesses` counter when it
+    /// reports one, else reconstructed from its reported rate.
     accesses: f64,
     /// Per-cell wall seconds, summed (worker time, not sweep time).
     cell_secs: f64,
-    /// Cells that contributed to the sums above — cells reporting no
-    /// rate, a zero/non-finite rate, or ~0 wall time are excluded, so
-    /// the footer never divides by (almost) nothing.
+    /// Cells that contributed to the sums above. Cells with a raw
+    /// counter always count (the counter is exact at any wall time);
+    /// rate-only cells reporting a zero/non-finite rate or ~0 wall
+    /// time are excluded, so the footer never aggregates a
+    /// reconstruction that rounds to garbage.
     rated_cells: usize,
     /// Cells counted per `trace_source` metric label (e.g. `cached`
     /// cache hits vs `materialized` misses vs `pipelined`
@@ -34,8 +37,11 @@ struct Aggregate {
     trace_sources: Vec<(String, usize)>,
 }
 
-/// Cells whose wall time rounds to nothing (tiny `--quick` cells) carry
-/// no throughput signal; below this they are left out of the aggregate.
+/// Rate-only cells whose wall time rounds to nothing (tiny `--quick`
+/// cells) carry no throughput signal; below this their `rate * wall`
+/// reconstruction is left out of the aggregate. Cells that report a
+/// raw `accesses` counter are exempt — the counter is exact however
+/// fast the cell finished.
 const MIN_RATED_SECS: f64 = 1e-6;
 
 /// Progress reporter for one sweep. Thread-safe.
@@ -71,9 +77,18 @@ impl Progress {
             .and_then(Value::as_f64)
             .filter(|r| r.is_finite() && *r > 0.0);
         let trace_source = metrics.get("trace_source").and_then(Value::as_str);
+        let accesses = metrics.get("accesses").and_then(Value::as_u64);
         {
             let mut agg = self.aggregate.lock().unwrap();
-            if let Some(rate) = rate {
+            if let Some(n) = accesses {
+                // Raw counter: sum it directly. A cell that finished in
+                // under a millisecond still simulated exactly n
+                // accesses — reconstructing that from its (huge) rate
+                // times its (~0) wall used to drop or mangle it.
+                agg.accesses += n as f64;
+                agg.cell_secs += wall.as_secs_f64();
+                agg.rated_cells += 1;
+            } else if let Some(rate) = rate {
                 if wall.as_secs_f64() >= MIN_RATED_SECS {
                     agg.accesses += rate * wall.as_secs_f64();
                     agg.cell_secs += wall.as_secs_f64();
@@ -234,6 +249,47 @@ mod tests {
         );
         let rate = p.aggregate_rate().unwrap();
         assert!((rate - 2e6).abs() < 1.0, "rate was {rate}");
+    }
+
+    #[test]
+    fn raw_counters_survive_sub_millisecond_cells() {
+        let p = Progress::new("t", 3, true);
+        // Three cells of 30k accesses each, finishing in 100µs, 500µs,
+        // and 400µs: 90k accesses over 1ms total. The old rate-based
+        // reconstruction dropped the 100µs cell entirely at coarser
+        // thresholds and amplified rounding in the rest; raw counters
+        // sum exactly.
+        for (micros, rate) in [(100u64, 3e8), (500, 6e7), (400, 7.5e7)] {
+            p.cell_done(
+                "c",
+                Duration::from_micros(micros),
+                &Value::object()
+                    .with("accesses", Value::u64(30_000))
+                    .with("accesses_per_sec", Value::f64(rate)),
+            );
+        }
+        let agg = p.aggregate.lock().unwrap().clone();
+        assert_eq!(agg.rated_cells, 3);
+        assert_eq!(agg.accesses, 90_000.0);
+        let rate = p.aggregate_rate().unwrap();
+        assert!((rate - 90_000.0 / 1e-3).abs() < 1.0, "rate was {rate}");
+    }
+
+    #[test]
+    fn raw_counters_beat_bogus_rates() {
+        let p = Progress::new("t", 1, true);
+        // A cell with a raw counter contributes even when its reported
+        // rate is the codec's secs<=0 fallback (0.0).
+        p.cell_done(
+            "c",
+            Duration::from_millis(2),
+            &Value::object()
+                .with("accesses", Value::u64(5_000))
+                .with("accesses_per_sec", Value::f64(0.0)),
+        );
+        let agg = p.aggregate.lock().unwrap().clone();
+        assert_eq!(agg.rated_cells, 1);
+        assert_eq!(agg.accesses, 5_000.0);
     }
 
     #[test]

@@ -21,7 +21,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-# Conformance gate: bounded differential fuzz + invariant sweep at a
+# Conformance gate: bounded differential fuzz + invariant sweep
+# (including the shard-determinism check: 2- and 4-shard runs must be
+# bit-identical to serial over the adversarial trace families) at a
 # fixed seed, so every run covers the identical scenario set. Override
 # the iteration budget with SLIP_FUZZ_ITERS if the default is too slow
 # on a given machine. The nightly-equivalent full budget is:
@@ -36,16 +38,19 @@ else
     echo "==> clippy not installed; skipping lint step"
 fi
 
-# Serve smoke: boot the daemon on an ephemeral loopback port, push a
-# small sweep through a real client with offline verification (the
-# submit exits non-zero on any byte difference), then shut down
-# gracefully. Everything is timeout-bounded so a wedged server fails
-# the gate instead of hanging it.
-echo "==> slip serve loopback smoke"
+# Serve smoke: boot the daemon on an ephemeral loopback port — sharded
+# (--shards 2), so every server-executed cell runs set-sharded — and
+# push a 2x2 sweep through a real client with offline verification.
+# The offline reference sweep is serial, so --verify-offline doubles as
+# an end-to-end sharded-vs-serial bit-exactness gate (the submit exits
+# non-zero on any byte difference). Then shut down gracefully.
+# Everything is timeout-bounded so a wedged server fails the gate
+# instead of hanging it.
+echo "==> slip serve loopback smoke (--shards 2)"
 SERVE_DIR="target/ci-serve"
 rm -rf "$SERVE_DIR"
 mkdir -p "$SERVE_DIR"
-./target/release/slip serve --addr 127.0.0.1:0 --jobs 2 \
+./target/release/slip serve --addr 127.0.0.1:0 --jobs 2 --shards 2 \
     --journal-dir "$SERVE_DIR/journals" --port-file "$SERVE_DIR/port" \
     --quiet &
 SERVE_PID=$!
@@ -83,14 +88,20 @@ done
 wait "$SERVE_PID" 2>/dev/null || true
 rm -rf "$SERVE_DIR"
 
+# Sharded sweep smoke: the CLI --shards plumbing end to end (the
+# bit-exactness itself is held by `slip check --quick` above).
+echo "==> slip sweep --shards 2 smoke"
+./target/release/slip sweep gcc soplex --accesses 20000 --jobs 2 --shards 2 \
+    >/dev/null
+
 # Perf-regression smoke: the quick microbench suite must stay within
-# 20% of the committed baseline (BENCH_4.json). Wall-clock sensitive,
+# 20% of the committed baseline (BENCH_7.json). Wall-clock sensitive,
 # so allow opting out on loaded/shared machines.
 if [ "${SLIP_SKIP_BENCH:-0}" = "1" ]; then
     echo "==> SLIP_SKIP_BENCH=1; skipping bench smoke"
 else
-    echo "==> slip bench --quick --check BENCH_4.json"
-    ./target/release/slip bench --quick --check BENCH_4.json
+    echo "==> slip bench --quick --check BENCH_7.json"
+    ./target/release/slip bench --quick --check BENCH_7.json
 fi
 
 echo "==> ci OK"
