@@ -21,14 +21,19 @@
 //!   --inclusive                                         model an inclusive LLC
 //!   --csv <path>                                        also write metrics as CSV
 //!   --jobs <N>          sweep/compare workers           (default SLIP_JOBS or all cores)
-//!   --shards <N>        set-shard workers per run; sharded runs are
-//!                       bit-identical to serial, and cells occupy
-//!                       jobs/shards pool slots each                (default SLIP_SHARDS or 1)
+//!   --shards <N>        set-shard workers per run; must be a power of
+//!                       two (the shard owner is a bit field of the
+//!                       line address); sharded runs are bit-identical
+//!                       to serial, and cells occupy jobs/shards pool
+//!                       slots each                    (default SLIP_SHARDS or 1)
 //!   --journal <path>    JSONL run journal; a re-run with the same
 //!                       options resumes, skipping completed cells
 //!                                                       (default SLIP_JOURNAL)
-//!   --trace-mode <inline|pipelined|shared>
-//!                       how sweep cells obtain their access streams
+//!   --trace-mode <inline|pipelined|shared|fused>
+//!                       how sweep cells obtain their access streams;
+//!                       fused decodes each benchmark's trace once and
+//!                       steps all of its policy cells in lockstep
+//!                       (incompatible with --shards > 1)
 //!                                                       (default SLIP_TRACE_MODE or shared)
 //!   --trace-cache-mb <N>  shared-trace cache budget in MiB; over-budget
 //!                       groups regenerate pipelined, 0 disables sharing
@@ -66,13 +71,14 @@ usage:
   slip compare <workload> [--accesses N] [--seed S] [--jobs N]
   slip sweep [workload ...] [--accesses N] [--jobs N] [--shards N]
              [--journal run.jsonl]
-             [--trace-mode inline|pipelined|shared] [--trace-cache-mb N]
+             [--trace-mode inline|pipelined|shared|fused] [--trace-cache-mb N]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]
-  slip bench [--quick] [--out bench.json] [--check BENCH_7.json]
+  slip bench [--quick] [--out bench.json] [--check BENCH_8.json]
   slip check [--quick|--full] [--oracle] [--iters N] [--seed S] [--max-len N]
              [--accesses N] [--jobs N]
   slip serve [--addr HOST:PORT] [--jobs N] [--shards N] [--journal-dir DIR]
+             [--trace-mode inline|pipelined|shared|fused]
              [--trace-cache-mb N] [--port-file FILE] [--quiet]
   slip submit [workload ...] [--policy P]... [--accesses N] [--warmup N]
               [--connect HOST:PORT] [--verify-offline] [--quiet]
@@ -122,7 +128,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         inclusive: false,
         csv: None,
         jobs: sim_engine::env::jobs(),
-        shards: sim_engine::env::shards(),
+        shards: sim_engine::env::shards()?,
         journal: sim_engine::env::journal(),
         trace_mode: sim_engine::env::trace_mode(),
         trace_cache_mb: sim_engine::env::trace_cache_mb(),
@@ -168,10 +174,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .map_err(|e| format!("--jobs: {e}"))?
             }
             "--shards" => {
-                o.shards = value("--shards")?
+                let n = value("--shards")?
                     .parse::<usize>()
-                    .map_err(|e| format!("--shards: {e}"))?
-                    .max(1)
+                    .map_err(|e| format!("--shards: {e}"))?;
+                o.shards = sim_engine::validate_shards(n).map_err(|e| format!("--shards: {e}"))?;
             }
             "--journal" => o.journal = Some(PathBuf::from(value("--journal")?)),
             "--trace-mode" => {
@@ -187,6 +193,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             _ => o.positional.push(a.clone()),
         }
+    }
+    if o.trace_mode == TraceMode::Fused && o.shards > 1 {
+        return Err(
+            "--trace-mode fused runs each benchmark group on one worker and ignores set \
+             shards; drop --shards (or SLIP_SHARDS), or pick another trace mode"
+                .to_owned(),
+        );
     }
     Ok(o)
 }
@@ -227,9 +240,38 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         let spec = workloads::workload(target)
             .ok_or_else(|| format!("unknown workload {target:?} (try `slip list`)"))?;
-        // Sharded and serial runs are bit-identical; --shards only
-        // changes how many threads step the simulation.
-        sim_engine::run_workload_sharded(config_from(&o), &spec, o.accesses, 0, o.shards)
+        let config = config_from(&o);
+        if o.trace_mode == TraceMode::Fused {
+            // Single-cell fused replay: decode one materialized
+            // buffer — the exact path a fused sweep group takes.
+            let buffer = std::sync::Arc::new(workloads::TraceBuffer::materialize(
+                spec.trace(o.accesses, o.seed),
+            ));
+            let mut r = sim_engine::run_group_from_buffer(vec![config], spec.name(), &buffer, 0)
+                .pop()
+                .expect("one config in, one result out");
+            r.exec_mode = Some("fused");
+            r
+        } else {
+            // Sharded and serial runs are bit-identical; --shards only
+            // changes how many threads step the simulation. Report the
+            // effective count when the request is silently reduced —
+            // either the policy carries global state (serial fallback)
+            // or the count exceeds the smallest cache's set count.
+            let effective = sim_engine::effective_shards(o.shards, &config);
+            if effective != o.shards {
+                println!(
+                    "note: running with {effective} shard(s) of {} requested ({})",
+                    o.shards,
+                    if effective == 1 {
+                        "policy state is global; set-sharding falls back to serial"
+                    } else {
+                        "clamped to the smallest cache's set count"
+                    }
+                );
+            }
+            sim_engine::run_workload_sharded(config, &spec, o.accesses, 0, o.shards)
+        }
     };
     print_result(&result);
     if let Some(path) = &o.csv {
@@ -245,6 +287,9 @@ fn print_result(r: &SimResult) {
         r.workload, r.policy, r.accesses
     );
     println!("cycles {}   IPC {:.3}", r.cycles, r.ipc());
+    if let Some(mode) = r.exec_mode {
+        println!("exec mode {mode}");
+    }
     println!();
     println!("                 L1           L2           L3");
     println!(
@@ -549,6 +594,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             s.wall_secs
         );
     }
+    if report.shard_runs.len() < 3 {
+        println!(
+            "{:<40} skipped (host parallelism {})",
+            "run/shards>1", report.host_parallelism
+        );
+    }
     println!(
         "{:<40} {:>9.0} kacc/s (geometric mean)",
         "suite",
@@ -722,6 +773,9 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7511";
 
 fn cmd_serve(args: &[String]) -> Result<(), String> {
+    // Surface a bad SLIP_SHARDS as a normal CLI error before
+    // `ServerConfig::new` (which panics on one) reads it.
+    sim_engine::env::shards()?;
     let mut config = slip_serve::ServerConfig::new("slip-serve-journals");
     config.addr = DEFAULT_SERVE_ADDR.to_owned();
     let mut port_file: Option<PathBuf> = None;
@@ -740,10 +794,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     .map_err(|e| format!("--jobs: {e}"))?
             }
             "--shards" => {
-                config.shards = value("--shards")?
+                let n = value("--shards")?
                     .parse::<usize>()
-                    .map_err(|e| format!("--shards: {e}"))?
-                    .max(1)
+                    .map_err(|e| format!("--shards: {e}"))?;
+                config.shards =
+                    sim_engine::validate_shards(n).map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--trace-mode" => {
+                let v = value("--trace-mode")?;
+                config.trace_mode =
+                    TraceMode::parse(&v).ok_or_else(|| format!("unknown trace mode {v:?}"))?;
             }
             "--journal-dir" => config.journal_dir = PathBuf::from(value("--journal-dir")?),
             "--trace-cache-mb" => {
@@ -755,6 +815,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--quiet" => config.quiet = true,
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+    if config.trace_mode == TraceMode::Fused && config.shards > 1 {
+        return Err(
+            "--trace-mode fused runs each benchmark group on one worker and ignores set \
+             shards; drop --shards (or SLIP_SHARDS), or pick another trace mode"
+                .to_owned(),
+        );
     }
     let server = slip_serve::Server::bind(config).map_err(|e| format!("bind: {e}"))?;
     if let Some(path) = port_file {
@@ -981,6 +1048,31 @@ mod tests {
         assert!(parse_options(&s(&["--journal"])).is_err());
         assert!(parse_options(&s(&["--trace-mode", "magic"])).is_err());
         assert!(parse_options(&s(&["--trace-cache-mb", "lots"])).is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_shards_at_parse_time() {
+        for bad in ["0", "3", "6", "12", "100"] {
+            let err = parse_options(&s(&["--shards", bad]))
+                .map(|_| ())
+                .unwrap_err();
+            assert!(err.contains("power of two"), "--shards {bad}: {err}");
+        }
+        for good in ["1", "2", "4", "64"] {
+            assert!(parse_options(&s(&["--shards", good])).is_ok(), "{good}");
+        }
+    }
+
+    #[test]
+    fn fused_mode_parses_and_rejects_set_shards() {
+        let o = parse_options(&s(&["--trace-mode", "fused"])).unwrap();
+        assert_eq!(o.trace_mode, TraceMode::Fused);
+        let err = parse_options(&s(&["--trace-mode", "fused", "--shards", "2"]))
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("fused"), "{err}");
+        // Order must not matter.
+        assert!(parse_options(&s(&["--shards", "2", "--trace-mode", "fused"])).is_err());
     }
 
     #[test]

@@ -112,12 +112,20 @@ pub struct BenchReport {
     pub kernels: Vec<KernelResult>,
     /// Full-system throughput runs.
     pub systems: Vec<SystemResult>,
-    /// The trace-mode sweep A/B (inline vs pipelined vs shared),
-    /// interleaved in the same measurement window.
+    /// The trace-mode sweep A/B (inline vs pipelined vs shared vs
+    /// fused), interleaved in the same measurement window.
     pub sweep_modes: Vec<SweepModeResult>,
     /// The set-sharding A/B: one single run at 1, 2, and 4 shards,
-    /// interleaved in the same measurement window.
+    /// interleaved in the same measurement window. Shard counts the
+    /// host cannot run in parallel are skipped (see
+    /// [`host_parallelism`](Self::host_parallelism)), so a 2-core CI
+    /// box reports `run/shards{1,2}` and no `run/shards4` section —
+    /// checks must treat missing sections as "not measurable here",
+    /// not as a regression.
     pub shard_runs: Vec<SystemResult>,
+    /// `std::thread::available_parallelism()` at measurement time —
+    /// the gate for which `shard_runs` sections exist.
+    pub host_parallelism: usize,
     /// Geometric mean of the system throughputs — the suite's headline
     /// number and the value regression checks compare.
     pub suite_accesses_per_sec: f64,
@@ -167,6 +175,7 @@ impl BenchReport {
             .with("systems", systems)
             .with("sweep_modes", sweeps)
             .with("shard_runs", shard_runs)
+            .with("host_parallelism", Value::u64(self.host_parallelism as u64))
             .with(
                 "suite_accesses_per_sec",
                 Value::f64(self.suite_accesses_per_sec),
@@ -435,8 +444,13 @@ fn sweep_mode_benches(quick: bool) -> Vec<SweepModeResult> {
             .with_accesses(accesses)
     };
     let cells = (options().benchmarks.len() * options().policies.len()) as u64;
-    let modes = [TraceMode::Inline, TraceMode::Pipelined, TraceMode::Shared];
-    let mut best = [f64::INFINITY; 3];
+    let modes = [
+        TraceMode::Inline,
+        TraceMode::Pipelined,
+        TraceMode::Shared,
+        TraceMode::Fused,
+    ];
+    let mut best = [f64::INFINITY; 4];
     for _ in 0..reps {
         for (i, mode) in modes.iter().enumerate() {
             let sweep = SweepConfig::serial().with_trace_mode(*mode);
@@ -466,15 +480,20 @@ fn sweep_mode_benches(quick: bool) -> Vec<SweepModeResult> {
 /// measurement window. Timed on the wall clock — shard workers run on
 /// their own threads, invisible to the calling thread's CPU clock. The
 /// shards=1 entry takes the serial fallback path, so the ratio is the
-/// true single-run parallel speedup.
-fn shard_run_benches(quick: bool) -> Vec<SystemResult> {
+/// true single-run parallel speedup. Shard counts exceeding
+/// `host_parallelism` are skipped: oversubscribed shard workers would
+/// measure the scheduler, not the sharding.
+fn shard_run_benches(quick: bool, host_parallelism: usize) -> Vec<SystemResult> {
     let accesses: u64 = if quick { 150_000 } else { 600_000 };
     let reps = if quick { 3 } else { 5 };
     let config = SystemConfig::paper_45nm(PolicyKind::Baseline);
     let spec = workloads::workload("gcc").expect("known benchmark");
     let buffer = TraceBuffer::materialize(spec.trace(accesses, config.seed));
-    let shard_counts = [1usize, 2, 4];
-    let mut best = [f64::INFINITY; 3];
+    let shard_counts: Vec<usize> = [1usize, 2, 4]
+        .into_iter()
+        .filter(|&s| s <= host_parallelism)
+        .collect();
+    let mut best = vec![f64::INFINITY; shard_counts.len()];
     for _ in 0..reps {
         for (i, &shards) in shard_counts.iter().enumerate() {
             let t = Instant::now();
@@ -498,10 +517,13 @@ fn shard_run_benches(quick: bool) -> Vec<SystemResult> {
 
 /// Runs the whole suite. `quick` trades precision for CI speed.
 pub fn run(quick: bool) -> BenchReport {
+    let host_parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let kernels = kernel_benches(quick);
     let systems = system_benches(quick);
     let sweep_modes = sweep_mode_benches(quick);
-    let shard_runs = shard_run_benches(quick);
+    let shard_runs = shard_run_benches(quick, host_parallelism);
     let geomean =
         systems.iter().map(|s| s.accesses_per_sec.ln()).sum::<f64>() / systems.len() as f64;
     BenchReport {
@@ -510,6 +532,7 @@ pub fn run(quick: bool) -> BenchReport {
         systems,
         sweep_modes,
         shard_runs,
+        host_parallelism,
         suite_accesses_per_sec: geomean.exp(),
     }
 }
@@ -566,6 +589,7 @@ mod tests {
                 wall_secs: 0.125,
                 accesses_per_sec: 8000.0,
             }],
+            host_parallelism: 8,
             suite_accesses_per_sec: 2000.0,
         };
         let v = report.to_value();
@@ -596,6 +620,7 @@ mod tests {
         );
         let k = v.get("kernels_ns_per_iter").unwrap();
         assert_eq!(k.get("k/one").unwrap().as_f64(), Some(12.5));
+        assert_eq!(v.get("host_parallelism").unwrap().as_f64(), Some(8.0));
         // Round-trips through the JSON text form.
         let parsed = Value::parse(&v.to_json()).unwrap();
         assert_eq!(

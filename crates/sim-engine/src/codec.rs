@@ -166,9 +166,11 @@ pub fn decode_result(v: &Value) -> Option<SimResult> {
         mmu_stats,
         eou_energy: Energy::from_pj(v.get("eou_energy_pj")?.as_f64()?),
         core_energy: Energy::from_pj(v.get("core_energy_pj")?.as_f64()?),
-        // Wall time is host-specific, so it stays out of the bit-exact
-        // payload; decoded results are untimed.
+        // Wall time and the execution-path label are host-specific, so
+        // they stay out of the bit-exact payload; decoded results are
+        // untimed and unlabeled.
         wall_time_secs: 0.0,
+        exec_mode: None,
     })
 }
 
@@ -248,15 +250,24 @@ mod tests {
         let spec = workloads::workload("gcc").unwrap();
         let mut r = run_workload(SystemConfig::paper_45nm(PolicyKind::SlipAbp), &spec, 5_000);
         r.wall_time_secs = 1.234;
+        r.exec_mode = Some("fused");
         let payload = encode_result(&r).to_json();
-        // No timing-derived field may appear in the journal payload.
-        for key in ["wall_time", "wall_secs", "accesses_per_sec"] {
+        // No timing- or host-execution-derived field may appear in the
+        // journal payload.
+        for key in [
+            "wall_time",
+            "wall_secs",
+            "accesses_per_sec",
+            "exec_mode",
+            "fused",
+        ] {
             assert!(!payload.contains(key), "payload leaks {key:?}: {payload}");
         }
-        // Decoding (a journal resume) yields an untimed result whose
-        // re-encoding is byte-identical to the timed original's.
+        // Decoding (a journal resume) yields an untimed, unlabeled
+        // result whose re-encoding is byte-identical to the original's.
         let decoded = decode_result(&Value::parse(&payload).unwrap()).unwrap();
         assert_eq!(decoded.wall_time_secs, 0.0);
+        assert_eq!(decoded.exec_mode, None);
         assert_eq!(encode_result(&decoded).to_json(), payload);
         // The timing fields live in the metrics object instead, where
         // a zero-wall cell reports rate 0 rather than dividing by zero.

@@ -10,10 +10,14 @@
 //! | `SLIP_WARMUP`         | unmeasured warmup accesses           | 0 |
 //! | `SLIP_JOBS`           | sweep worker count                   | available parallelism |
 //! | `SLIP_JOURNAL`        | run-journal path (enables resume)    | unset (off) |
-//! | `SLIP_TRACE_MODE`     | trace execution: `inline` \| `pipelined` \| `shared` | `shared` |
+//! | `SLIP_TRACE_MODE`     | trace execution: `inline` \| `pipelined` \| `shared` \| `fused` | `shared` |
 //! | `SLIP_TRACE_CACHE_MB` | shared-trace cache budget in MiB (0 disables sharing) | 1024 |
 //! | `SLIP_FUZZ_ITERS`     | `slip check` differential-fuzz iteration budget | unset (mode default) |
-//! | `SLIP_SHARDS`         | set-shard workers per single run (1 = serial) | 1 |
+//! | `SLIP_SHARDS`         | set-shard workers per single run (power of two; 1 = serial) | 1 |
+//!
+//! One exception to the garbage-falls-back rule: a *set* `SLIP_SHARDS`
+//! that is not a power of two (or not a number) is an error, not a
+//! silent round-down — see [`shards`].
 
 use crate::pipeline::TraceMode;
 use std::path::PathBuf;
@@ -69,11 +73,22 @@ pub fn fuzz_iters() -> Option<u64> {
 }
 
 /// Set-shard workers per single run (`SLIP_SHARDS`); 1 means serial.
-/// Values are normalized per configuration by
-/// [`crate::shard::effective_shards`] — non-shardable configurations
-/// always run serial regardless.
-pub fn shards() -> usize {
-    parse_var::<usize>("SLIP_SHARDS").unwrap_or(1).max(1)
+/// Unset or empty means 1. A *set* value that is not a positive power
+/// of two is rejected with a clear error instead of being silently
+/// rounded down — the shard owner is a fixed bit field of the line
+/// address, so `SLIP_SHARDS=3` cannot mean what it says.
+/// Non-shardable configurations still fall back to serial per cell
+/// (see [`crate::shard::effective_shards`]), which the runners report.
+pub fn shards() -> Result<usize, String> {
+    let raw = match std::env::var("SLIP_SHARDS") {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => return Ok(1),
+    };
+    let parsed: usize = raw
+        .trim()
+        .parse()
+        .map_err(|_| format!("SLIP_SHARDS={:?}: not a number", raw.trim()))?;
+    crate::shard::validate_shards(parsed).map_err(|e| format!("SLIP_SHARDS: {e}"))
 }
 
 /// Trace execution mode (`SLIP_TRACE_MODE`); unknown or unset values
@@ -95,6 +110,26 @@ mod tests {
         // for any value.
         assert!(accesses() >= 1);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn shards_rejects_non_powers_of_two_when_set() {
+        // The only test in this binary touching SLIP_SHARDS; restores
+        // the unset state before returning.
+        std::env::set_var("SLIP_SHARDS", "4");
+        assert_eq!(shards(), Ok(4));
+        std::env::set_var("SLIP_SHARDS", " 2 ");
+        assert_eq!(shards(), Ok(2));
+        std::env::set_var("SLIP_SHARDS", "3");
+        assert!(shards().unwrap_err().contains("power of two"));
+        std::env::set_var("SLIP_SHARDS", "0");
+        assert!(shards().unwrap_err().contains("power of two"));
+        std::env::set_var("SLIP_SHARDS", "lots");
+        assert!(shards().unwrap_err().contains("not a number"));
+        std::env::set_var("SLIP_SHARDS", "");
+        assert_eq!(shards(), Ok(1));
+        std::env::remove_var("SLIP_SHARDS");
+        assert_eq!(shards(), Ok(1));
     }
 
     #[test]

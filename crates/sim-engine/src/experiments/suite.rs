@@ -141,14 +141,19 @@ pub struct SweepConfig {
     pub journal: Option<PathBuf>,
     /// Suppress stderr progress lines.
     pub quiet: bool,
-    /// How cells obtain their access streams. All three modes are
-    /// bit-identical; they differ only in throughput.
+    /// How cells obtain their access streams. All modes are
+    /// bit-identical; they differ only in throughput. In
+    /// [`TraceMode::Fused`] all policy cells of one benchmark run as a
+    /// single lockstep group that occupies one worker and retires every
+    /// cell at once.
     pub trace_mode: TraceMode,
     /// Set-shard workers per cell (1 = serial). Sharded execution is
     /// bit-identical to serial; configurations with global policy
     /// state (SLIP, DRRIP, SHiP) fall back to serial transparently.
     /// When above 1, the sweep divides its worker count by the shard
     /// count so `jobs × shards` never oversubscribes the pool.
+    /// Ignored in [`TraceMode::Fused`] (a fused group is one worker by
+    /// construction); the CLI rejects the combination outright.
     pub shards: usize,
     /// Shared-trace cache budget in MiB. A stream whose materialized
     /// trace would exceed the whole budget falls back to pipelined
@@ -168,14 +173,20 @@ pub struct SweepConfig {
 
 impl SweepConfig {
     /// Reads `SLIP_JOBS` / `SLIP_JOURNAL` / `SLIP_TRACE_MODE` /
-    /// `SLIP_TRACE_CACHE_MB`; progress lines on.
+    /// `SLIP_TRACE_CACHE_MB` / `SLIP_SHARDS`; progress lines on.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `SLIP_SHARDS` is set to something that is not a
+    /// positive power of two — a silently rounded shard count would
+    /// mislabel what ran. The CLI surfaces the same error politely.
     pub fn from_env() -> Self {
         SweepConfig {
             jobs: env::jobs(),
             journal: env::journal(),
             quiet: false,
             trace_mode: env::trace_mode(),
-            shards: env::shards(),
+            shards: env::shards().unwrap_or_else(|e| panic!("{e}")),
             trace_cache_mb: env::trace_cache_mb(),
             trace_cache: None,
             cancel: None,
@@ -219,9 +230,11 @@ impl SweepConfig {
     /// Worker count after shard arbitration: cells each occupy
     /// `shards` threads, so the dispatcher gets `jobs / shards`
     /// workers (at least one) and the pool stays at or under `jobs`
-    /// threads total.
+    /// threads total. Fused sweeps ignore shards — a fused group is a
+    /// single worker retiring N cells, so the full `jobs` budget goes
+    /// to groups.
     pub fn effective_jobs(&self) -> usize {
-        if self.shards > 1 {
+        if self.shards > 1 && self.trace_mode != TraceMode::Fused {
             (self.jobs / self.shards).max(1)
         } else {
             self.jobs
@@ -248,6 +261,12 @@ impl SweepConfig {
 /// the `slip serve` daemon so both execution paths are bit-identical
 /// by construction: the trace mode and cache only change *how* the
 /// access stream is produced, never its contents.
+///
+/// The returned result's [`SimResult::exec_mode`] names the path that
+/// actually ran — which differs from `trace_mode` whenever a mode falls
+/// back (pipelined + shards runs sharded; a cache-bypassed shared or
+/// fused stream regenerates pipelined) — so downstream A/B comparisons
+/// can't mislabel what executed.
 pub fn run_suite_cell(
     options: &SuiteOptions,
     bench: &str,
@@ -262,20 +281,22 @@ pub fn run_suite_cell(
     let pipelined = |config: SystemConfig| {
         run_workload_pipelined(config, &spec, options.accesses, options.warmup)
     };
-    match trace_mode {
+    let (mut result, trace_source, exec_mode) = match trace_mode {
+        TraceMode::Inline if shards > 1 => (
+            crate::shard::run_workload_sharded(
+                config,
+                &spec,
+                options.accesses,
+                options.warmup,
+                shards,
+            ),
+            Some("sharded"),
+            "sharded",
+        ),
         TraceMode::Inline => (
-            if shards > 1 {
-                crate::shard::run_workload_sharded(
-                    config,
-                    &spec,
-                    options.accesses,
-                    options.warmup,
-                    shards,
-                )
-            } else {
-                run_workload_with_warmup(config, &spec, options.accesses, options.warmup)
-            },
-            (shards > 1).then_some("sharded"),
+            run_workload_with_warmup(config, &spec, options.accesses, options.warmup),
+            None,
+            "inline",
         ),
         // Sharding replaces the single producer/consumer pair: each
         // shard regenerates the trace on its own thread, so pipelining
@@ -289,8 +310,9 @@ pub fn run_suite_cell(
                 shards,
             ),
             Some("sharded"),
+            "sharded",
         ),
-        TraceMode::Pipelined => (pipelined(config), Some("pipelined")),
+        TraceMode::Pipelined => (pipelined(config), Some("pipelined"), "pipelined"),
         TraceMode::Shared => {
             let total = options.warmup + options.accesses;
             let key = TraceKey::new(spec.name(), config.seed, total);
@@ -309,10 +331,12 @@ pub fn run_suite_cell(
                         shards,
                     ),
                     Some("sharded"),
+                    "sharded",
                 ),
                 Some((buf, outcome)) => (
                     run_workload_from_buffer(config, spec.name(), &buf, options.warmup),
                     Some(outcome.label()),
+                    "shared",
                 ),
                 None if shards > 1 => (
                     crate::shard::run_workload_sharded(
@@ -323,11 +347,77 @@ pub fn run_suite_cell(
                         shards,
                     ),
                     Some("sharded"),
+                    "sharded",
                 ),
-                None => (pipelined(config), Some("pipelined")),
+                None => (pipelined(config), Some("pipelined"), "pipelined"),
             }
         }
-    }
+        // A lone fused cell is a group of one; sharding is ignored in
+        // fused mode (the CLI rejects the combination).
+        TraceMode::Fused => {
+            let (result, trace_source) = run_fused_group(options, bench, &[policy], cache)
+                .pop()
+                .expect("one cell in, one result out");
+            return (result, trace_source);
+        }
+    };
+    result.exec_mode = Some(exec_mode);
+    (result, trace_source)
+}
+
+/// Runs every policy cell of one benchmark as a single fused group:
+/// the trace buffer is materialized (or fetched from the shared cache)
+/// once, decoded once, and all cells step through it in lockstep
+/// ([`crate::fused::run_group_from_buffer`]). Returns one
+/// `(result, trace_source)` per policy, in order, bit-identical to the
+/// per-cell [`TraceMode::Shared`] replay.
+///
+/// A stream the cache refuses to hold (over budget, or sharing
+/// disabled with a 0 MiB budget) cannot be fused — there is no buffer
+/// to share — so the group degrades to per-cell pipelined regeneration
+/// and labels itself accordingly via [`SimResult::exec_mode`].
+pub fn run_fused_group(
+    options: &SuiteOptions,
+    bench: &str,
+    policies: &[PolicyKind],
+    cache: Option<&TraceLru>,
+) -> Vec<(SimResult, Option<&'static str>)> {
+    let spec = workloads::workload(bench).expect("known benchmark");
+    let configs: Vec<SystemConfig> = policies.iter().map(|&p| options.cell_config(p)).collect();
+    let seed = configs[0].seed;
+    let total = options.warmup + options.accesses;
+    let key = TraceKey::new(spec.name(), seed, total);
+    let local;
+    let (buffer, trace_source) = match cache.and_then(|c| {
+        c.get_or_materialize(&key, || TraceBuffer::materialize(spec.trace(total, seed)))
+    }) {
+        Some((buf, outcome)) => (buf, outcome.label()),
+        None if cache.is_some() => {
+            // The cache bypassed the stream: honor its memory budget
+            // and fall back to per-cell pipelined regeneration.
+            return configs
+                .into_iter()
+                .map(|config| {
+                    let mut r =
+                        run_workload_pipelined(config, &spec, options.accesses, options.warmup);
+                    r.exec_mode = Some("pipelined");
+                    (r, Some("pipelined"))
+                })
+                .collect();
+        }
+        None => {
+            // No cache supplied at all: materialize group-locally.
+            local = std::sync::Arc::new(TraceBuffer::materialize(spec.trace(total, seed)));
+            (local, "materialized")
+        }
+    };
+    crate::fused::run_group_from_buffer(configs, spec.name(), &buffer, options.warmup)
+        .into_iter()
+        .map(|mut r| {
+            r.exec_mode = Some("fused");
+            (r, Some(trace_source))
+        })
+        .collect()
 }
 
 /// Results of a suite run, keyed by `(benchmark, policy)`.
@@ -387,30 +477,68 @@ impl SuiteResults {
             }
         };
         let stats_before = cache.map(TraceLru::stats);
-        let ran = sweep_runner::run_sweep(
-            &keys,
-            &sweep_options,
-            |i| {
-                let (bench, policy) = cells[i];
-                run_suite_cell(
-                    &options,
-                    bench,
-                    policy,
-                    sweep.trace_mode,
-                    cache,
-                    sweep.shards,
-                )
-            },
-            |(r, trace_source), wall| {
-                let mut metrics = codec::result_metrics(r, wall);
-                if let Some(source) = *trace_source {
-                    metrics = metrics.with("trace_source", Value::str(source));
-                }
-                (metrics, codec::encode_result(r))
-            },
-            |p| codec::decode_result(p).map(|r| (r, None)),
-        )?;
-        let trace_cache_stats = (sweep.trace_mode == TraceMode::Shared)
+        let encode = |(r, trace_source): &(SimResult, Option<&'static str>),
+                      wall: std::time::Duration| {
+            let mut metrics = codec::result_metrics(r, wall);
+            if let Some(source) = *trace_source {
+                metrics = metrics.with("trace_source", Value::str(source));
+            }
+            if let Some(mode) = r.exec_mode {
+                metrics = metrics.with("exec_mode", Value::str(mode));
+            }
+            (metrics, codec::encode_result(r))
+        };
+        let decode = |p: &Value| codec::decode_result(p).map(|r| (r, None));
+        let ran = if sweep.trace_mode == TraceMode::Fused {
+            // All policy cells of one benchmark become one fused group:
+            // one worker, one decode, N cells retired at once. Groups
+            // re-form from whatever cells the journal did *not*
+            // restore, so a resumed sweep fuses only the survivors.
+            sweep_runner::run_sweep_grouped(
+                &keys,
+                &sweep_options,
+                |pending| {
+                    let mut groups: Vec<Vec<usize>> = Vec::new();
+                    let mut by_bench: HashMap<&'static str, usize> = HashMap::new();
+                    for &i in pending {
+                        match by_bench.get(cells[i].0) {
+                            Some(&g) => groups[g].push(i),
+                            None => {
+                                by_bench.insert(cells[i].0, groups.len());
+                                groups.push(vec![i]);
+                            }
+                        }
+                    }
+                    groups
+                },
+                |members| {
+                    let bench = cells[members[0]].0;
+                    let policies: Vec<PolicyKind> = members.iter().map(|&i| cells[i].1).collect();
+                    run_fused_group(&options, bench, &policies, cache)
+                },
+                encode,
+                decode,
+            )?
+        } else {
+            sweep_runner::run_sweep(
+                &keys,
+                &sweep_options,
+                |i| {
+                    let (bench, policy) = cells[i];
+                    run_suite_cell(
+                        &options,
+                        bench,
+                        policy,
+                        sweep.trace_mode,
+                        cache,
+                        sweep.shards,
+                    )
+                },
+                encode,
+                decode,
+            )?
+        };
+        let trace_cache_stats = matches!(sweep.trace_mode, TraceMode::Shared | TraceMode::Fused)
             .then(|| Some(cache?.stats().delta_since(stats_before.as_ref()?)))
             .flatten();
         if let (false, Some(s)) = (sweep.quiet, &trace_cache_stats) {
@@ -556,6 +684,91 @@ mod tests {
         assert_eq!(SweepConfig::serial().with_shards(4).effective_jobs(), 1);
         // with_shards(0) normalizes to serial.
         assert_eq!(sweep.with_shards(0).effective_jobs(), 8);
+    }
+
+    #[test]
+    fn fused_sweep_is_bit_exact_across_trace_modes_and_jobs() {
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc", "soplex"])
+            .with_policies(&[
+                PolicyKind::Slip,
+                PolicyKind::SlipAbp,
+                PolicyKind::NuRapid,
+                PolicyKind::LruPea,
+            ])
+            .with_accesses(10_000)
+            .with_warmup(2_000);
+        let fingerprint = |suite: &SuiteResults| -> Vec<String> {
+            let mut cells = Vec::new();
+            for &b in suite.benchmarks() {
+                for &p in &suite.options.policies {
+                    cells.push(codec::encode_result(suite.get(b, p)).to_json());
+                }
+            }
+            cells
+        };
+        let reference =
+            fingerprint(&SuiteResults::run_with(opts.clone(), &SweepConfig::serial()).unwrap());
+        for mode in [
+            TraceMode::Inline,
+            TraceMode::Pipelined,
+            TraceMode::Shared,
+            TraceMode::Fused,
+        ] {
+            for jobs in [1, 4] {
+                let sweep = SweepConfig::with_jobs(jobs).with_trace_mode(mode);
+                let suite = SuiteResults::run_with(opts.clone(), &sweep).unwrap();
+                assert_eq!(fingerprint(&suite), reference, "{mode:?} jobs={jobs}");
+                if mode == TraceMode::Fused {
+                    // No silent fallback: every cell reports the fused
+                    // executor actually ran it.
+                    for &b in suite.benchmarks() {
+                        for &p in &suite.options.policies {
+                            assert_eq!(suite.get(b, p).exec_mode, Some("fused"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_resume_reforms_groups_from_unjournaled_cells() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-suite-fused-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_policies(&[PolicyKind::Slip, PolicyKind::SlipAbp, PolicyKind::NuRapid])
+            .with_accesses(8_000);
+        let mut fused = SweepConfig::serial().with_trace_mode(TraceMode::Fused);
+
+        // Reference: the full fused grid, uninterrupted.
+        let reference = SuiteResults::run_with(opts.clone(), &fused).unwrap();
+
+        // Journal only part of the benchmark's cells — a narrower grid
+        // into the same journal stands in for a fused sweep that died
+        // mid-group (cell keys are grid-independent, so its records are
+        // restorable by the wider sweep).
+        fused.journal = Some(path.clone());
+        let narrow = opts.clone().with_policies(&[PolicyKind::Slip]);
+        SuiteResults::run_with(narrow, &fused).unwrap();
+
+        // Resume the full grid: baseline+slip restore from the journal,
+        // and the two survivors re-form one smaller fused group.
+        let resumed = SuiteResults::run_with(opts.clone(), &fused).unwrap();
+        for &p in &opts.policies {
+            assert_eq!(
+                codec::encode_result(resumed.get("gcc", p)).to_json(),
+                codec::encode_result(reference.get("gcc", p)).to_json(),
+                "{p:?}"
+            );
+        }
+        // One cache miss and zero hits: the survivors shared a single
+        // group materialization instead of running per cell.
+        let stats = resumed.trace_cache_stats.as_ref().unwrap();
+        assert_eq!((stats.misses, stats.hits), (1, 0));
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod config;
 pub mod dispatch;
 pub mod env;
 pub mod experiments;
+pub mod fused;
 pub mod multicore;
 pub mod pipeline;
 pub mod report;
@@ -44,10 +45,13 @@ pub mod trace_cache;
 
 pub use config::{PolicyKind, ReplacementKind, SystemConfig};
 pub use experiments::suite::SweepConfig;
+pub use fused::{run_group_from_buffer, run_group_observed, shared_l1_eligible};
 pub use pipeline::{
     run_mix_pipelined, run_workload_from_buffer, run_workload_pipelined, TraceMode,
 };
 pub use result::SimResult;
-pub use shard::{effective_shards, run_buffer_sharded, run_workload_sharded, shardable};
+pub use shard::{
+    effective_shards, run_buffer_sharded, run_workload_sharded, shardable, validate_shards,
+};
 pub use system::{run_workload, SingleCoreSystem};
 pub use trace_cache::{TraceCacheStats, TraceKey, TraceLru, TraceOutcome};

@@ -51,6 +51,11 @@ pub enum TraceMode {
     /// (`TraceMode::Pipelined`) when the group would exceed the trace
     /// cache budget.
     Shared,
+    /// Like [`Shared`](TraceMode::Shared), but all policy cells of a
+    /// benchmark step in lockstep through one decode of the buffer
+    /// ([`crate::fused`]): a fused group occupies one sweep worker and
+    /// retires every cell of the benchmark at once.
+    Fused,
 }
 
 impl TraceMode {
@@ -60,6 +65,7 @@ impl TraceMode {
             "inline" => Some(TraceMode::Inline),
             "pipelined" | "pipeline" => Some(TraceMode::Pipelined),
             "shared" => Some(TraceMode::Shared),
+            "fused" => Some(TraceMode::Fused),
             _ => None,
         }
     }
@@ -70,6 +76,7 @@ impl TraceMode {
             TraceMode::Inline => "inline",
             TraceMode::Pipelined => "pipelined",
             TraceMode::Shared => "shared",
+            TraceMode::Fused => "fused",
         }
     }
 }
@@ -269,11 +276,16 @@ mod tests {
         assert_eq!(TraceMode::parse(" Pipelined "), Some(TraceMode::Pipelined));
         assert_eq!(TraceMode::parse("pipeline"), Some(TraceMode::Pipelined));
         assert_eq!(TraceMode::parse("shared"), Some(TraceMode::Shared));
+        assert_eq!(TraceMode::parse("Fused"), Some(TraceMode::Fused));
         assert_eq!(TraceMode::parse("magic"), None);
-        assert_eq!(
-            TraceMode::parse(TraceMode::Shared.label()),
-            Some(TraceMode::Shared)
-        );
+        for mode in [
+            TraceMode::Inline,
+            TraceMode::Pipelined,
+            TraceMode::Shared,
+            TraceMode::Fused,
+        ] {
+            assert_eq!(TraceMode::parse(mode.label()), Some(mode));
+        }
     }
 
     #[test]

@@ -49,6 +49,14 @@ pub struct SimResult {
     /// time is host-specific and deliberately outside the codec's
     /// bit-exact payload).
     pub wall_time_secs: f64,
+    /// Execution path that actually produced this result (`"inline"`,
+    /// `"pipelined"`, `"shared"`, `"sharded"`, `"fused"`), so A/B
+    /// comparisons can't mislabel what ran when a mode falls back to
+    /// another path. `None` when the run predates the label (journal
+    /// restores) or bypassed the suite driver. Like `wall_time_secs`,
+    /// this describes *how* the host executed — it stays outside the
+    /// codec's bit-exact payload.
+    pub exec_mode: Option<&'static str>,
 }
 
 impl SimResult {
@@ -145,6 +153,7 @@ mod tests {
             eou_energy: Energy::from_pj(10.0),
             core_energy: Energy::from_pj(1000.0),
             wall_time_secs: 0.0,
+            exec_mode: None,
         }
     }
 

@@ -50,6 +50,22 @@ pub fn shardable(config: &SystemConfig) -> bool {
     }
 }
 
+/// Validates a user-requested shard count at the CLI/env boundary:
+/// the owner of a line is a fixed bit field of its address, so only
+/// powers of two are meaningful. Returns the count unchanged when
+/// valid; callers surface the error instead of silently rounding
+/// (which `--shards 3` used to do).
+pub fn validate_shards(requested: usize) -> Result<usize, String> {
+    if requested >= 1 && requested.is_power_of_two() {
+        Ok(requested)
+    } else {
+        Err(format!(
+            "shard count {requested} is not a power of two; the shard owner is a \
+             fixed bit field of the line address (use 1, 2, 4, 8, ...)"
+        ))
+    }
+}
+
 /// Normalizes a requested shard count: rounded down to a power of two
 /// (the owner of a line must be a fixed bit field of its address) and
 /// clamped to the smallest set count in the hierarchy so every shard
@@ -228,6 +244,17 @@ mod tests {
         assert!(shardable(&SystemConfig::paper_45nm(PolicyKind::NuRapid)));
         assert!(!shardable(&SystemConfig::paper_45nm(PolicyKind::Slip)));
         assert!(!shardable(&SystemConfig::paper_45nm(PolicyKind::SlipAbp)));
+    }
+
+    #[test]
+    fn validate_shards_rejects_non_powers_of_two() {
+        assert_eq!(validate_shards(1), Ok(1));
+        assert_eq!(validate_shards(2), Ok(2));
+        assert_eq!(validate_shards(64), Ok(64));
+        for bad in [0usize, 3, 5, 6, 7, 12, 100] {
+            let err = validate_shards(bad).unwrap_err();
+            assert!(err.contains("power of two"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -276,6 +276,141 @@ impl SingleCoreSystem {
         self.cycles += u64::from(latency);
     }
 
+    /// Simulates one access whose L1 interaction was precomputed by a
+    /// group-shared L1 (see [`crate::fused`]). Mirrors [`step`] exactly
+    /// with the two L1 touch points replaced by `l1`: the probe result
+    /// feeds the latency accounting, and the victims the L1 fill would
+    /// have evicted are routed down this system's own L2/L3/DRAM at the
+    /// position `fill_l1` holds in the serial sequence.
+    ///
+    /// Only legal for non-inclusive hierarchies, where nothing below
+    /// the L1 ever reaches back into it — that is what makes the L1
+    /// policy-invariant and thus shareable across a fused group.
+    ///
+    /// [`step`]: Self::step
+    pub fn step_below_l1(&mut self, access: cache_sim::Access, l1: &L1Verdict<'_>) {
+        debug_assert!(
+            !self.config.inclusive_llc,
+            "shared L1 requires non-inclusive LLC"
+        );
+        let line = access.line();
+        let page = access.page();
+        self.accesses += 1;
+        let mut latency = self.config.core_cycles_per_access;
+
+        let (slip_codes, sampling) = if let Some(mmu) = self.mmu.as_mut() {
+            let t = mmu.translate_line(line);
+            latency += t.extra_cycles;
+            if t.fetch_metadata {
+                let block = self.mmu.as_ref().expect("mmu present").block_of(line);
+                self.metadata_fetch(Self::meta_line(block));
+            }
+            if let Some(p) = t.writeback_metadata_page {
+                self.metadata_writeback(Self::meta_line(p));
+            }
+            (t.slip_codes, t.sampling)
+        } else {
+            ([0, 0], false)
+        };
+
+        if l1.hit {
+            self.cycles += u64::from(latency + l1.latency);
+            return;
+        }
+        latency += l1.latency;
+
+        let now = self.cycles;
+        let r2 = self.l2.access(
+            line,
+            access.kind,
+            AccessClass::Demand,
+            now,
+            &mut self.l2_policy,
+            &mut self.l2_repl,
+        );
+        match r2 {
+            AccessResult::Hit(h2) => {
+                latency += h2.latency;
+                if sampling {
+                    let bin = bin_for_distance(h2.reuse_distance, &self.l2_cum_caps);
+                    if let Some(mmu) = self.mmu.as_mut() {
+                        mmu.record_reuse_line(line, SlipLevel::L2, bin);
+                    }
+                }
+                self.route_l1_writebacks(l1.writebacks);
+            }
+            AccessResult::Miss { latency: l2_lat } => {
+                latency += l2_lat;
+                if sampling {
+                    if let Some(mmu) = self.mmu.as_mut() {
+                        mmu.record_reuse_line(line, SlipLevel::L2, self.l2_cum_caps.len());
+                    }
+                }
+                let r3 = self.l3.access(
+                    line,
+                    access.kind,
+                    AccessClass::Demand,
+                    now,
+                    &mut self.l3_policy,
+                    &mut self.l3_repl,
+                );
+                match r3 {
+                    AccessResult::Hit(h3) => {
+                        latency += h3.latency;
+                        if sampling {
+                            let bin = bin_for_distance(h3.reuse_distance, &self.l3_cum_caps);
+                            if let Some(mmu) = self.mmu.as_mut() {
+                                mmu.record_reuse_line(line, SlipLevel::L3, bin);
+                            }
+                        }
+                        self.fill_l2(line, slip_codes, sampling, page);
+                        self.route_l1_writebacks(l1.writebacks);
+                    }
+                    AccessResult::Miss { latency: l3_lat } => {
+                        latency += l3_lat;
+                        if sampling {
+                            if let Some(mmu) = self.mmu.as_mut() {
+                                mmu.record_reuse_line(line, SlipLevel::L3, self.l3_cum_caps.len());
+                            }
+                        }
+                        latency += self.dram.read_line();
+                        self.fill_l3(line, slip_codes, sampling, page);
+                        self.fill_l2(line, slip_codes, sampling, page);
+                        self.route_l1_writebacks(l1.writebacks);
+                    }
+                }
+            }
+        }
+        self.cycles += u64::from(latency);
+    }
+
+    /// Dirty victims of the shared L1's fill, routed down this system's
+    /// hierarchy exactly where its own `fill_l1` would have.
+    fn route_l1_writebacks(&mut self, writebacks: &[LineAddr]) {
+        for &wb in writebacks {
+            self.writeback_below_l1(wb);
+        }
+    }
+
+    /// Credits a run of consecutive L1 hits in one step. Only exact for
+    /// systems without an MMU (no translation work per access): each
+    /// hit contributes `core_cycles_per_access + its L1 hit latency`
+    /// cycles and nothing else, so a batch folds to two sums.
+    pub fn absorb_l1_hits(&mut self, count: u64, latency_sum: u64) {
+        debug_assert!(
+            self.mmu.is_none(),
+            "hit batching requires no per-access MMU work"
+        );
+        self.accesses += count;
+        self.cycles += count * u64::from(self.config.core_cycles_per_access) + latency_sum;
+    }
+
+    /// Whether this system carries a per-access MMU (the SLIP
+    /// policies); such systems cannot batch L1 hit runs.
+    pub fn has_mmu(&self) -> bool {
+        self.mmu.is_some()
+    }
+
     /// Fills a line into L1 (write-allocate: stores dirty the L1 copy).
     fn fill_l1(&mut self, line: LineAddr, kind: AccessKind) {
         let mut req = FillRequest::new(line);
@@ -524,7 +659,18 @@ impl SingleCoreSystem {
             eou_energy: self.mmu.as_ref().map_or(Energy::ZERO, |m| m.eou_energy()),
             core_energy: self.config.core_energy_per_access * self.accesses as f64,
             wall_time_secs: 0.0,
+            exec_mode: None,
         }
+    }
+
+    /// Cheap per-access divergence probe for lockstep conformance
+    /// replays: the cumulative `(accesses, cycles)` counters. Two
+    /// replays of the same stream that are bit-identical agree on this
+    /// pair at every step, and cycle counts fold in hit/miss verdicts
+    /// at every level — so the first step where two probes differ
+    /// localizes a divergence without a full result comparison.
+    pub fn probe(&self) -> (u64, u64) {
+        (self.accesses, self.cycles)
     }
 
     /// Read access to the L2 (for tests).
@@ -546,6 +692,21 @@ impl SingleCoreSystem {
 enum FillLevel {
     L2,
     L3,
+}
+
+/// The L1 interaction of one demand access, computed once on a fused
+/// group's shared L1 and consumed by every cell's
+/// [`SingleCoreSystem::step_below_l1`].
+#[derive(Debug)]
+pub struct L1Verdict<'a> {
+    /// Whether the access hit the L1.
+    pub hit: bool,
+    /// Hit latency (including port wait) for hits; miss latency for
+    /// misses — exactly what `CacheLevel::access` reported.
+    pub latency: u32,
+    /// Dirty victims the L1 fill evicted (empty for hits), in eviction
+    /// order; each cell routes them down its own hierarchy.
+    pub writebacks: &'a [LineAddr],
 }
 
 /// Runs `spec` for `len` accesses under `config` and returns the result.

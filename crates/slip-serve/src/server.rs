@@ -37,7 +37,7 @@
 
 use crate::protocol::{Frame, Request, SweepSpec};
 use sim_engine::config::PolicyKind;
-use sim_engine::experiments::suite::run_suite_cell;
+use sim_engine::experiments::suite::{run_fused_group, run_suite_cell};
 use sim_engine::experiments::SuiteOptions;
 use sim_engine::pipeline::TraceMode;
 use sim_engine::trace_cache::TraceLru;
@@ -69,8 +69,14 @@ pub struct ServerConfig {
     /// Set-shard workers per cell (1 = serial). Cells occupy `shards`
     /// threads each, so the pool runs `jobs / shards` cells at once —
     /// the thread budget stays `jobs` either way. Results are
-    /// bit-identical at any shard count.
+    /// bit-identical at any shard count. Ignored in
+    /// [`TraceMode::Fused`], where a whole benchmark group occupies
+    /// one worker instead.
     pub shards: usize,
+    /// How cells execute ([`TraceMode::Shared`] by default). In
+    /// [`TraceMode::Fused`] a run's pending cells are grouped by
+    /// benchmark and each group replays one trace decode in lockstep.
+    pub trace_mode: TraceMode,
     /// Maximum simultaneously active runs (pool admission limit);
     /// further submissions get a `server busy` error frame.
     pub max_runs: usize,
@@ -87,11 +93,18 @@ pub struct ServerConfig {
 impl ServerConfig {
     /// Loopback defaults: ephemeral port, env-derived worker count and
     /// cache budget, journals under `journal_dir`.
+    ///
+    /// # Panics
+    ///
+    /// When `SLIP_SHARDS` is set to something that is not a power of
+    /// two — a server that silently rounded it down would misreport
+    /// its own parallelism.
     pub fn new(journal_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             jobs: env::jobs(),
-            shards: env::shards(),
+            shards: env::shards().unwrap_or_else(|e| panic!("{e}")),
+            trace_mode: env::trace_mode(),
             max_runs: 32,
             max_conns: 64,
             journal_dir: journal_dir.into(),
@@ -102,9 +115,10 @@ impl ServerConfig {
 
     /// Pool worker count after the jobs × shards arbitration: sharded
     /// cells each occupy `shards` threads, so the pool gets
-    /// `jobs / shards` workers (at least one).
+    /// `jobs / shards` workers (at least one). Fused mode ignores
+    /// shards — a fused group is one job that retires N cells.
     pub fn effective_jobs(&self) -> usize {
-        if self.shards > 1 {
+        if self.shards > 1 && self.trace_mode != TraceMode::Fused {
             (self.jobs / self.shards).max(1)
         } else {
             self.jobs.max(1)
@@ -139,6 +153,10 @@ struct RunState {
     /// Cells satisfied by its journal or another run's slot.
     restored: u64,
     journal: Journal,
+    /// Cleared when any journal write fails: a run whose journal is
+    /// not a complete record must stay resident (never archived),
+    /// because its in-memory results are the only copy.
+    journal_ok: AtomicBool,
 }
 
 impl RunState {
@@ -152,11 +170,13 @@ impl RunState {
     fn deliver(&self, index: usize, wall_ms: f64, metrics: Value, payload: Value, record: bool) {
         if record {
             // Journal I/O failure must not poison execution — the run
-            // still completes in memory; only resume durability is lost.
+            // still completes in memory; only resume durability is
+            // lost, and the run is pinned resident (no archival).
             if let Err(e) =
                 self.journal
                     .record(&self.keys[index], wall_ms, metrics, payload.clone())
             {
+                self.journal_ok.store(false, Ordering::SeqCst);
                 eprintln!("[serve] journal write failed for {}: {e}", self.run_id);
             }
         }
@@ -184,6 +204,7 @@ impl RunState {
 struct Counters {
     runs_started: AtomicU64,
     runs_joined: AtomicU64,
+    runs_archived: AtomicU64,
     cells_executed: AtomicU64,
     cells_deduped: AtomicU64,
     cells_restored: AtomicU64,
@@ -195,6 +216,10 @@ struct ServerState {
     cache: Arc<TraceLru>,
     runs: Mutex<HashMap<String, Arc<RunState>>>,
     cells: Mutex<HashMap<String, Arc<CellSlot>>>,
+    /// Index of completed runs whose cell results were released from
+    /// memory: `run_id -> cell count`. The journal is the durable
+    /// copy; a resubmission or resume revives the run from it.
+    archived: Mutex<HashMap<String, u64>>,
     counters: Counters,
     conns: AtomicUsize,
     draining: AtomicBool,
@@ -223,6 +248,11 @@ impl ServerState {
         let run = self.schedule_run(&run_id, spec, options)?;
         runs.insert(run_id, Arc::clone(&run));
         self.counters.runs_started.fetch_add(1, Ordering::Relaxed);
+        drop(runs);
+        // A run fully satisfied by its journal has nothing in flight
+        // to keep it resident; release it right away. Streams hold
+        // their own `Arc<RunState>`, so this never races a reader.
+        self.maybe_archive(&run);
         Ok((run, false))
     }
 
@@ -246,8 +276,16 @@ impl ServerState {
         let journal = Journal::open(self.config.journal_dir.join(format!("{run_id}.jsonl")))
             .map_err(|e| format!("journal: {e}"))?;
         if journal.payload(SPEC_KEY).is_none() {
+            // The metrics slot records *how this server executes* —
+            // trace mode, shards, jobs — so a journal read back later
+            // can tell which path produced it. The payload must stay
+            // exactly the spec (it hashes to the run id).
+            let how = Value::object()
+                .with("trace_mode", Value::str(self.config.trace_mode.label()))
+                .with("shards", Value::u64(self.config.shards as u64))
+                .with("jobs", Value::u64(self.config.jobs as u64));
             journal
-                .record(SPEC_KEY, 0.0, Value::object(), spec.to_value())
+                .record(SPEC_KEY, 0.0, how, spec.to_value())
                 .map_err(|e| format!("journal: {e}"))?;
         }
         let restored_payloads: Vec<Option<Value>> =
@@ -294,6 +332,7 @@ impl ServerState {
             executed: claimed.len() as u64,
             restored: (cells.len() - claimed.len()) as u64,
             journal,
+            journal_ok: AtomicBool::new(true),
         });
 
         // Journal restores: deliver immediately, no re-record.
@@ -320,13 +359,37 @@ impl ServerState {
         }
 
         // Everything else executes on the shared pool as one queue.
-        let jobs: Vec<Job> = claimed
-            .iter()
-            .map(|&i| {
+        // In fused mode the claimed cells group by benchmark: one job
+        // decodes the trace once and retires the whole group.
+        let groups: Vec<Vec<usize>> = if self.config.trace_mode == TraceMode::Fused {
+            let mut order: Vec<&'static str> = Vec::new();
+            let mut by_bench: HashMap<&'static str, Vec<usize>> = HashMap::new();
+            for &i in &claimed {
+                by_bench
+                    .entry(cells[i].0)
+                    .or_insert_with(|| {
+                        order.push(cells[i].0);
+                        Vec::new()
+                    })
+                    .push(i);
+            }
+            order
+                .into_iter()
+                .map(|b| by_bench.remove(b).expect("benchmark grouped above"))
+                .collect()
+        } else {
+            claimed.iter().map(|&i| vec![i]).collect()
+        };
+        let jobs: Vec<Job> = groups
+            .into_iter()
+            .map(|members| {
                 let state = Arc::clone(self);
                 let run = Arc::clone(&run);
-                let (bench, policy) = cells[i];
-                Box::new(move || state.execute_cell(&run, i, bench, policy)) as Job
+                let group: Vec<(usize, &'static str, PolicyKind)> = members
+                    .iter()
+                    .map(|&i| (i, cells[i].0, cells[i].1))
+                    .collect();
+                Box::new(move || state.execute_group(&run, &group)) as Job
             })
             .collect();
         if !jobs.is_empty() {
@@ -357,33 +420,69 @@ impl ServerState {
         Ok(run)
     }
 
-    /// Executes one claimed cell on a pool worker and fans the result
-    /// out to every subscribed run.
-    fn execute_cell(&self, run: &Arc<RunState>, index: usize, bench: &str, policy: PolicyKind) {
+    /// Executes one claimed group on a pool worker and fans each
+    /// member's result out to every subscribed run. Non-fused groups
+    /// are singletons; fused groups are all claimed policy cells of
+    /// one benchmark, stepped through a single trace decode. The
+    /// group's wall time is split evenly across members, matching the
+    /// sweep journal convention.
+    fn execute_group(
+        self: &Arc<Self>,
+        run: &Arc<RunState>,
+        members: &[(usize, &'static str, PolicyKind)],
+    ) {
         let started = std::time::Instant::now();
-        let (result, trace_source) = run_suite_cell(
-            &run.options,
-            bench,
-            policy,
-            TraceMode::Shared,
-            Some(&self.cache),
-            self.config.shards,
-        );
-        let wall = started.elapsed();
-        let mut metrics = codec::result_metrics(&result, wall);
-        if let Some(source) = trace_source {
-            metrics = metrics.with("trace_source", Value::str(source));
+        let outputs: Vec<(sim_engine::SimResult, Option<&'static str>)> =
+            if self.config.trace_mode == TraceMode::Fused {
+                let bench = members[0].1;
+                let policies: Vec<PolicyKind> = members.iter().map(|&(_, _, p)| p).collect();
+                run_fused_group(&run.options, bench, &policies, Some(&self.cache))
+            } else {
+                let &(_, bench, policy) = &members[0];
+                vec![run_suite_cell(
+                    &run.options,
+                    bench,
+                    policy,
+                    self.config.trace_mode,
+                    Some(&self.cache),
+                    self.config.shards,
+                )]
+            };
+        debug_assert_eq!(outputs.len(), members.len());
+        let wall = started.elapsed() / members.len() as u32;
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        for (&(index, _, _), (result, trace_source)) in members.iter().zip(outputs) {
+            let mut metrics = codec::result_metrics(&result, wall);
+            if let Some(source) = trace_source {
+                metrics = metrics.with("trace_source", Value::str(source));
+            }
+            if let Some(mode) = result.exec_mode {
+                metrics = metrics.with("exec_mode", Value::str(mode));
+            }
+            let payload = codec::encode_result(&result);
+            self.counters.cells_executed.fetch_add(1, Ordering::Relaxed);
+            self.publish(run, index, wall_ms, metrics, payload);
         }
-        let payload = codec::encode_result(&result);
-        self.counters.cells_executed.fetch_add(1, Ordering::Relaxed);
+    }
 
+    /// Delivers one completed cell to its run and every run
+    /// subscribed to its slot, then archives any run the delivery
+    /// completed.
+    fn publish(
+        self: &Arc<Self>,
+        run: &Arc<RunState>,
+        index: usize,
+        wall_ms: f64,
+        metrics: Value,
+        payload: Value,
+    ) {
         let key = &run.keys[index];
         let slot = {
             let slots = self.cells.lock().expect("cell slots poisoned");
             slots.get(key).map(Arc::clone)
         };
-        let wall_ms = wall.as_secs_f64() * 1e3;
         run.deliver(index, wall_ms, metrics.clone(), payload.clone(), true);
+        let mut delivered: Vec<Arc<RunState>> = vec![Arc::clone(run)];
         if let Some(slot) = slot {
             // Publish under the subscriber lock so a run subscribing
             // right now either sees `done` or lands in the drain below.
@@ -393,8 +492,48 @@ impl ServerState {
             drop(subs);
             for (other, i) in waiters {
                 other.deliver(i, wall_ms, metrics.clone(), payload.clone(), true);
+                delivered.push(other);
             }
         }
+        for r in delivered {
+            self.maybe_archive(&r);
+        }
+    }
+
+    /// Releases a completed run's in-memory cell results, keeping
+    /// only an index entry: once every cell is delivered *and* the
+    /// journal holds a complete record, the `RunState` leaves the run
+    /// map (live streams keep their own `Arc`) and the run's
+    /// completed dedup slots are dropped. A later submission or
+    /// resume revives the run from its journal.
+    fn maybe_archive(&self, run: &Arc<RunState>) {
+        if !run.journal_ok.load(Ordering::SeqCst) {
+            return;
+        }
+        {
+            let filled = run.filled.lock().expect("run progress poisoned");
+            if *filled < run.cells() {
+                return;
+            }
+        }
+        let removed = self.runs.lock().expect("runs poisoned").remove(&run.run_id);
+        if removed.is_none() {
+            return; // already archived by another delivery
+        }
+        self.archived
+            .lock()
+            .expect("archive index poisoned")
+            .insert(run.run_id.clone(), run.cells() as u64);
+        // Cell slots stay resident: they are the process-wide dedup
+        // memo that lets an overlapping *future* spec restore shared
+        // cells instead of re-executing them. Only the run's own state
+        // (its result store and subscriber machinery) is released.
+        self.counters.runs_archived.fetch_add(1, Ordering::Relaxed);
+        self.log(&format!(
+            "run {}: archived ({} cells sealed in journal)",
+            run.run_id,
+            run.cells()
+        ));
     }
 
     /// The run for `run_id`, reviving it from its journal when it is
@@ -429,8 +568,10 @@ impl ServerState {
     fn stats_value(&self) -> Value {
         let runs = self.runs.lock().expect("runs poisoned");
         let total_cells: u64 = runs.values().map(|r| r.cells() as u64).sum();
+        let archived = self.archived.lock().expect("archive index poisoned");
         Value::object()
             .with("runs", Value::u64(runs.len() as u64))
+            .with("runs_archived_index", Value::u64(archived.len() as u64))
             .with(
                 "runs_started",
                 Value::u64(self.counters.runs_started.load(Ordering::Relaxed)),
@@ -438,6 +579,10 @@ impl ServerState {
             .with(
                 "runs_joined",
                 Value::u64(self.counters.runs_joined.load(Ordering::Relaxed)),
+            )
+            .with(
+                "runs_archived",
+                Value::u64(self.counters.runs_archived.load(Ordering::Relaxed)),
             )
             .with("cells", Value::u64(total_cells))
             .with(
@@ -575,6 +720,7 @@ impl Server {
             cache: Arc::new(TraceLru::new(config.trace_cache_mb)),
             runs: Mutex::new(HashMap::new()),
             cells: Mutex::new(HashMap::new()),
+            archived: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             conns: AtomicUsize::new(0),
             draining: AtomicBool::new(false),

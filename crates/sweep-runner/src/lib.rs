@@ -143,6 +143,61 @@ where
     Enc: Fn(&T, Duration) -> (Value, Value) + Sync,
     Dec: Fn(&Value) -> Option<T>,
 {
+    // A plain sweep is the grouped engine with singleton groups.
+    run_sweep_grouped(
+        keys,
+        opts,
+        |pending| pending.iter().map(|&i| vec![i]).collect(),
+        |members| vec![run(members[0])],
+        encode,
+        decode,
+    )
+}
+
+/// The grouped variant of [`run_sweep`]: pending cells are partitioned
+/// into *groups*, each executed by one pool worker in a single `run`
+/// call that returns one result per member (a fused simulation group
+/// occupies one worker but retires N cells at once).
+///
+/// * `group(&pending)` partitions the pending cell indices (cells the
+///   journal did not restore — resume therefore re-forms groups from
+///   the surviving cells only). Every pending index must appear in
+///   exactly one group; groups must be non-empty.
+/// * `run(&members)` executes one group and returns its results in
+///   member order.
+///
+/// Each member is journaled individually (with the group's wall time
+/// split evenly across members) the moment its group completes, so an
+/// interrupted grouped sweep still seals a clean per-cell resumable
+/// journal. Results come back in key order, exactly as [`run_sweep`].
+///
+/// # Errors
+///
+/// As [`run_sweep`]: journal I/O errors propagate, and a tripped
+/// cancellation flag yields [`std::io::ErrorKind::Interrupted`] after
+/// in-flight groups finish and journal.
+///
+/// # Panics
+///
+/// Panics when `group` does not produce a partition of the pending
+/// indices, or when `run` returns a result count different from its
+/// group size — both are caller bugs that would corrupt cell/key
+/// alignment.
+pub fn run_sweep_grouped<T, Grp, Run, Enc, Dec>(
+    keys: &[String],
+    opts: &SweepOptions,
+    group: Grp,
+    run: Run,
+    encode: Enc,
+    decode: Dec,
+) -> std::io::Result<Vec<T>>
+where
+    T: Send,
+    Grp: FnOnce(&[usize]) -> Vec<Vec<usize>>,
+    Run: Fn(&[usize]) -> Vec<T> + Sync,
+    Enc: Fn(&T, Duration) -> (Value, Value) + Sync,
+    Dec: Fn(&Value) -> Option<T>,
+{
     let journal = match &opts.journal {
         Some(path) => Some(Journal::open(path)?),
         None => None,
@@ -174,37 +229,62 @@ where
     }
     let from_journal = keys.len() - pending.len();
 
+    let groups = group(&pending);
+    {
+        // The grouping must be a permutation of the pending set — a
+        // stray or missing index would silently misalign keys/results.
+        let mut seen: Vec<usize> = groups.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert!(
+            groups.iter().all(|g| !g.is_empty()) && seen == pending,
+            "group() must partition the pending cell indices"
+        );
+    }
+
     let progress = Progress::new(&opts.label, pending.len(), opts.quiet);
     let journal_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
 
-    let ran = pool::run_indexed_cancellable(pending.len(), opts.jobs, opts.cancel, |j| {
-        let i = pending[j];
+    let ran = pool::run_indexed_cancellable(groups.len(), opts.jobs, opts.cancel, |g| {
+        let members = &groups[g];
         let started = Instant::now();
-        let value = run(i);
+        let values = run(members);
         let wall = started.elapsed();
-        let (metrics, payload) = encode(&value, wall);
-        if let Some(journal) = &journal {
-            if let Err(e) =
-                journal.record(&keys[i], wall.as_secs_f64() * 1e3, metrics.clone(), payload)
-            {
-                journal_error
-                    .lock()
-                    .expect("error slot poisoned")
-                    .get_or_insert(e);
+        assert_eq!(
+            values.len(),
+            members.len(),
+            "group run() must return one result per member"
+        );
+        // The group ran as one unit; attribute its wall time evenly so
+        // per-cell rates stay meaningful.
+        let member_wall = wall / members.len() as u32;
+        for (&i, value) in members.iter().zip(&values) {
+            let (metrics, payload) = encode(value, member_wall);
+            if let Some(journal) = &journal {
+                if let Err(e) = journal.record(
+                    &keys[i],
+                    member_wall.as_secs_f64() * 1e3,
+                    metrics.clone(),
+                    payload,
+                ) {
+                    journal_error
+                        .lock()
+                        .expect("error slot poisoned")
+                        .get_or_insert(e);
+                }
             }
+            progress.cell_done(&keys[i], member_wall, &metrics);
         }
-        progress.cell_done(&keys[i], wall, &metrics);
-        value
+        values
     });
     if let Some(e) = journal_error.into_inner().expect("error slot poisoned") {
         return Err(e);
     }
 
-    if ran.len() < pending.len() {
-        // The cancellation flag tripped mid-sweep. Completed cells are
-        // journaled (each line flushed atomically), so the journal is a
-        // clean resumable prefix.
-        let done = ran.len();
+    if ran.len() < groups.len() {
+        // The cancellation flag tripped mid-sweep. Completed groups are
+        // journaled per member (each line flushed atomically), so the
+        // journal is a clean resumable prefix.
+        let done: usize = ran.iter().map(|(g, _)| groups[*g].len()).sum();
         let total = pending.len();
         if !opts.quiet {
             eprintln!(
@@ -222,8 +302,10 @@ where
         ));
     }
 
-    for (j, value) in ran {
-        resolved[pending[j]] = Some(value);
+    for (g, values) in ran {
+        for (&i, value) in groups[g].iter().zip(values) {
+            resolved[i] = Some(value);
+        }
     }
     progress.finish(from_journal);
     Ok(resolved
@@ -447,6 +529,83 @@ mod tests {
         .unwrap();
         assert_eq!(ran.load(Ordering::Relaxed), 3);
         assert_eq!(out, (0..6).map(|i| i * 3).collect::<Vec<u64>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn grouped_sweep_runs_each_group_in_one_call() {
+        let (enc, dec) = codec_u64();
+        let calls = AtomicUsize::new(0);
+        let out = run_sweep_grouped(
+            &keys(6),
+            &quiet(2),
+            |pending| pending.chunks(3).map(<[usize]>::to_vec).collect(),
+            |members| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                members.iter().map(|&i| i as u64 * 7).collect()
+            },
+            &enc,
+            &dec,
+        )
+        .unwrap();
+        assert_eq!(out, (0..6).map(|i| i * 7).collect::<Vec<u64>>());
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition")]
+    fn grouped_sweep_rejects_a_bad_partition() {
+        let (enc, dec) = codec_u64();
+        // Index 1 appears twice — key/result alignment would corrupt.
+        let _ = run_sweep_grouped(
+            &keys(4),
+            &quiet(1),
+            |_| vec![vec![0, 1], vec![1, 2, 3]],
+            |members| members.iter().map(|&i| i as u64).collect(),
+            &enc,
+            &dec,
+        );
+    }
+
+    #[test]
+    fn grouped_resume_reforms_groups_from_surviving_cells() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-sweep-grouped-resume-{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts = SweepOptions {
+            jobs: 1,
+            journal: Some(path.clone()),
+            quiet: true,
+            label: "test".to_owned(),
+            cancel: None,
+        };
+        let (enc, dec) = codec_u64();
+        // Seed the journal with the first three cells, as if a grouped
+        // sweep was interrupted mid-group.
+        run_sweep(&keys(6)[..3], &opts, |i| i as u64 * 7, &enc, &dec).unwrap();
+
+        // Re-sweep all six: only the survivors reach group(), and they
+        // run in a single call.
+        let calls = AtomicUsize::new(0);
+        let seen = Mutex::new(Vec::new());
+        let out = run_sweep_grouped(
+            &keys(6),
+            &opts,
+            |pending| {
+                *seen.lock().unwrap() = pending.to_vec();
+                vec![pending.to_vec()]
+            },
+            |members| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                members.iter().map(|&i| i as u64 * 7).collect()
+            },
+            &enc,
+            &dec,
+        )
+        .unwrap();
+        assert_eq!(seen.into_inner().unwrap(), vec![3, 4, 5]);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(out, (0..6).map(|i| i * 7).collect::<Vec<u64>>());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -35,6 +35,11 @@ struct Aggregate {
     /// cache hits vs `materialized` misses vs `pipelined`
     /// regeneration), in first-seen order.
     trace_sources: Vec<(String, usize)>,
+    /// Cells counted per `exec_mode` metric label (the execution path
+    /// that actually ran — `fused`, `sharded`, `pipelined`, ... — which
+    /// can differ from the requested mode on fallback), in first-seen
+    /// order.
+    exec_modes: Vec<(String, usize)>,
 }
 
 /// Rate-only cells whose wall time rounds to nothing (tiny `--quick`
@@ -101,6 +106,12 @@ impl Progress {
                     None => agg.trace_sources.push((source.to_owned(), 1)),
                 }
             }
+            if let Some(mode) = metrics.get("exec_mode").and_then(Value::as_str) {
+                match agg.exec_modes.iter_mut().find(|(s, _)| s == mode) {
+                    Some((_, n)) => *n += 1,
+                    None => agg.exec_modes.push((mode.to_owned(), 1)),
+                }
+            }
         }
         if self.quiet {
             return;
@@ -165,6 +176,14 @@ impl Progress {
                 .map(|(s, n)| format!("{n} {s}"))
                 .collect();
             detail.push_str(&format!(" [traces: {}]", counts.join(", ")));
+        }
+        if !agg.exec_modes.is_empty() {
+            let counts: Vec<String> = agg
+                .exec_modes
+                .iter()
+                .map(|(s, n)| format!("{n} {s}"))
+                .collect();
+            detail.push_str(&format!(" [exec: {}]", counts.join(", ")));
         }
         eprintln!(
             "[{}] {} cells done ({from_journal} from journal) in {:.1}s{detail}",
@@ -310,6 +329,22 @@ mod tests {
                 ("cached".to_owned(), 2),
                 ("pipelined".to_owned(), 1)
             ]
+        );
+        p.finish(0);
+    }
+
+    #[test]
+    fn exec_modes_are_counted_per_label() {
+        let p = Progress::new("t", 3, true);
+        let fused = Value::object().with("exec_mode", Value::str("fused"));
+        let sharded = Value::object().with("exec_mode", Value::str("sharded"));
+        p.cell_done("a", Duration::from_millis(5), &fused);
+        p.cell_done("b", Duration::from_millis(5), &fused);
+        p.cell_done("c", Duration::from_millis(5), &sharded);
+        let agg = p.aggregate.lock().unwrap().clone();
+        assert_eq!(
+            agg.exec_modes,
+            vec![("fused".to_owned(), 2), ("sharded".to_owned(), 1)]
         );
         p.finish(0);
     }

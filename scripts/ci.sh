@@ -94,14 +94,21 @@ echo "==> slip sweep --shards 2 smoke"
 ./target/release/slip sweep gcc soplex --accesses 20000 --jobs 2 --shards 2 \
     >/dev/null
 
+# Fused sweep smoke: the CLI --trace-mode fused plumbing end to end
+# (fused-vs-per-cell bit-exactness is held by the fused-determinism
+# check inside `slip check --quick` above).
+echo "==> slip sweep --trace-mode fused smoke"
+./target/release/slip sweep gcc soplex --accesses 20000 --jobs 2 \
+    --trace-mode fused >/dev/null
+
 # Perf-regression smoke: the quick microbench suite must stay within
-# 20% of the committed baseline (BENCH_7.json). Wall-clock sensitive,
+# 20% of the committed baseline (BENCH_8.json). Wall-clock sensitive,
 # so allow opting out on loaded/shared machines.
 if [ "${SLIP_SKIP_BENCH:-0}" = "1" ]; then
     echo "==> SLIP_SKIP_BENCH=1; skipping bench smoke"
 else
-    echo "==> slip bench --quick --check BENCH_7.json"
-    ./target/release/slip bench --quick --check BENCH_7.json
+    echo "==> slip bench --quick --check BENCH_8.json"
+    ./target/release/slip bench --quick --check BENCH_8.json
 fi
 
 echo "==> ci OK"
