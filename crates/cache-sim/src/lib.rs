@@ -49,6 +49,7 @@ pub mod movement;
 pub mod policy;
 pub mod replacement;
 pub mod rng;
+pub mod soa;
 pub mod stats;
 
 pub use addr::{Access, AccessClass, AccessKind, LineAddr, PageId};
@@ -58,4 +59,5 @@ pub use line::{EvictedLine, LineState};
 pub use movement::MovementQueue;
 pub use policy::{BaselinePolicy, FillRequest, InsertionClass, PlacementPolicy};
 pub use replacement::{Drrip, Lru, RandomReplacement, ReplacementPolicy, Ship};
+pub use soa::PackedLruStack;
 pub use stats::CacheStats;

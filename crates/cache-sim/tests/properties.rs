@@ -8,8 +8,8 @@
 use cache_sim::policy::{FillRequest, InsertionClass, PlacementPolicy};
 use cache_sim::rng::SplitMix64;
 use cache_sim::{
-    AccessClass, AccessKind, CacheGeometry, CacheLevel, Drrip, LineAddr, LineState, Lru,
-    ReplacementPolicy, Ship, WayMask,
+    AccessClass, AccessKind, BaselinePolicy, CacheGeometry, CacheLevel, Drrip, LineAddr, LineState,
+    Lru, PackedLruStack, ReplacementPolicy, Ship, WayMask,
 };
 use energy_model::Energy;
 
@@ -164,6 +164,199 @@ fn fills_land_in_the_insertion_mask() {
             }
         }
     }
+}
+
+/// The packed SoA LRU stack picks the same victim as the reference
+/// `Lru` (min `lru_seq`) for every way count 1–16, over random
+/// touch/evict/refill sequences with random candidate masks.
+#[test]
+fn packed_stack_matches_reference_lru_for_every_way_count() {
+    let mut rng = SplitMix64::new(0x665);
+    for ways in 1..=16usize {
+        for _ in 0..CASES / 4 {
+            let mut stack = PackedLruStack::new();
+            let mut set: Vec<LineState> = (0..ways)
+                .map(|i| LineState::new(LineAddr(i as u64)))
+                .collect();
+            let mut lru = Lru::new();
+            let mut seq = 0u64;
+            // Every way starts touched (a fill is a touch), mirroring
+            // the cache invariant that victim candidates are valid.
+            for (w, line) in set.iter_mut().enumerate() {
+                seq += 1;
+                line.lru_seq = seq;
+                stack.touch(w);
+            }
+            for _ in 0..200 {
+                if rng.next_below(4) == 0 {
+                    // Evict within a random non-empty candidate mask,
+                    // then refill the slot (a fresh touch).
+                    let mask_bits = 1 + rng.next_below((1u64 << ways) - 1) as u32;
+                    let mask = WayMask::from_bits(mask_bits);
+                    let want = lru.choose_victim(0, &mut set, mask);
+                    let got = stack.victim_among(mask_bits, ways);
+                    assert_eq!(got, want, "ways {ways}, mask {mask_bits:#b}");
+                    seq += 1;
+                    set[got].lru_seq = seq;
+                    stack.touch(got);
+                } else {
+                    let w = rng.next_below(ways as u64) as usize;
+                    seq += 1;
+                    set[w].lru_seq = seq;
+                    stack.touch(w);
+                }
+            }
+        }
+    }
+}
+
+/// The SoA fast-hit path (`try_demand_hit` + full-access fallback) is
+/// a drop-in replacement for the reference access path on a
+/// baseline-LRU level: same verdicts, same latencies, same victims,
+/// same statistics, over random read/write streams.
+#[test]
+fn packed_cache_matches_reference_access_path() {
+    let mut rng = SplitMix64::new(0x776);
+    let geom = || CacheGeometry::from_sublevels(8, &[(8, Energy::from_pj(5.0), 4)]);
+    for _ in 0..32 {
+        let mut fast = CacheLevel::new("f", geom())
+            .with_tag_filter(true)
+            .with_packed_lru(true);
+        let mut reference = CacheLevel::new("r", geom());
+        let mut fast_pol = BaselinePolicy::new();
+        let mut fast_repl = Lru::new();
+        let mut ref_pol = BaselinePolicy::new();
+        let mut ref_repl = Lru::new();
+        let addrs = random_addrs(&mut rng, 192, 100, 600);
+        for (i, &line) in addrs.iter().enumerate() {
+            let is_write = rng.next_below(4) == 0;
+            let kind = if is_write {
+                AccessKind::Write
+            } else {
+                AccessKind::Read
+            };
+            let r = reference.access(
+                line,
+                kind,
+                AccessClass::Demand,
+                i as u64,
+                &mut ref_pol,
+                &mut ref_repl,
+            );
+            match fast.try_demand_hit(line, is_write) {
+                Some(latency) => {
+                    assert!(r.is_hit(), "fast hit where reference missed: {line:?}");
+                    if let cache_sim::AccessResult::Hit(h) = r {
+                        assert_eq!(latency, h.latency, "hit latency diverged: {line:?}");
+                    }
+                }
+                None => {
+                    let f = fast.access(
+                        line,
+                        kind,
+                        AccessClass::Demand,
+                        i as u64,
+                        &mut fast_pol,
+                        &mut fast_repl,
+                    );
+                    assert!(!f.is_hit(), "try_demand_hit refused a resident line");
+                    assert!(
+                        !r.is_hit(),
+                        "reference hit where fast path missed: {line:?}"
+                    );
+                    assert_eq!(f.latency(), r.latency());
+                    let fo = fast.fill(
+                        FillRequest::new(line),
+                        i as u64,
+                        &mut fast_pol,
+                        &mut fast_repl,
+                    );
+                    let ro = reference.fill(
+                        FillRequest::new(line),
+                        i as u64,
+                        &mut ref_pol,
+                        &mut ref_repl,
+                    );
+                    let fe: Vec<_> = fo.evicted().map(|e| (e.addr, e.dirty)).collect();
+                    let re: Vec<_> = ro.evicted().map(|e| (e.addr, e.dirty)).collect();
+                    assert_eq!(fe, re, "divergent victims at access {i}");
+                }
+            }
+            assert_eq!(fast.probe_way(line), reference.probe_way(line));
+        }
+        assert_eq!(fast.stats.demand_accesses, reference.stats.demand_accesses);
+        assert_eq!(fast.stats.demand_hits, reference.stats.demand_hits);
+        assert_eq!(fast.stats.demand_misses, reference.stats.demand_misses);
+        assert_eq!(fast.stats.evictions, reference.stats.evictions);
+        assert_eq!(fast.stats.writebacks, reference.stats.writebacks);
+        assert_eq!(
+            fast.stats.hits_per_sublevel,
+            reference.stats.hits_per_sublevel
+        );
+        assert_eq!(fast.energy().total(), reference.energy().total());
+    }
+}
+
+/// Evicting or invalidating the memoized line retires the way memo:
+/// the stale memo must never satisfy a fast hit for the departed
+/// address, and the slot's new occupant must still fast-hit.
+#[test]
+fn way_memo_is_invalidated_on_eviction() {
+    // One set, two ways: evictions are easy to aim.
+    let geom = CacheGeometry::from_sublevels(1, &[(2, Energy::from_pj(5.0), 4)]);
+    let mut cache = CacheLevel::new("c", geom)
+        .with_tag_filter(true)
+        .with_packed_lru(true);
+    let mut policy = BaselinePolicy::new();
+    let mut repl = Lru::new();
+    let (a, b, c) = (LineAddr(1), LineAddr(2), LineAddr(3));
+    cache.fill(FillRequest::new(a), 0, &mut policy, &mut repl);
+    cache.fill(FillRequest::new(b), 0, &mut policy, &mut repl);
+    // Hit `a`: the memo now points at a's way, and `a` is MRU.
+    assert!(cache.try_demand_hit(a, false).is_some());
+    let memo_way = cache.memoized_way(0).expect("memo set by the hit");
+    assert_eq!(cache.probe_way(a), Some(memo_way));
+    // Hit `a` again so LRU would evict `b`, then aim at `a` anyway:
+    // an explicit invalidate of the memoized line.
+    assert!(cache.try_demand_hit(a, false).is_some());
+    cache.invalidate(a);
+    assert_eq!(
+        cache.memoized_way(0),
+        None,
+        "invalidate must clear the memo"
+    );
+    assert!(cache.try_demand_hit(a, false).is_none());
+    // Fill `c`; it lands in a's old slot (the only invalid way). The
+    // departed address must not fast-hit; the new occupant must.
+    cache.fill(FillRequest::new(c), 0, &mut policy, &mut repl);
+    assert!(cache.try_demand_hit(a, false).is_none());
+    assert!(cache.try_demand_hit(c, false).is_some());
+    // Eviction through a fill cascade also retires the memo: hit `b`
+    // (memo = b's way), then fill a new line evicting LRU... `c` was
+    // just touched, so evict order is b-then-c only if b is LRU; touch
+    // c to make b the victim and memoize b first.
+    assert!(cache.try_demand_hit(b, false).is_some());
+    assert!(cache.try_demand_hit(c, false).is_some());
+    assert!(cache.try_demand_hit(b, false).is_some());
+    let b_way = cache.memoized_way(0).expect("memo points at b");
+    assert_eq!(cache.probe_way(b), Some(b_way));
+    // Evict `c` (LRU) with a new fill: memo (at b) survives and b
+    // still fast-hits, while c no longer does.
+    let d = LineAddr(4);
+    cache.fill(FillRequest::new(d), 0, &mut policy, &mut repl);
+    assert!(cache.probe_way(c).is_none(), "c was the LRU victim");
+    assert!(cache.try_demand_hit(c, false).is_none());
+    assert!(cache.try_demand_hit(b, false).is_some());
+    // Now make b the victim of a fill: the memo pointing at b's way
+    // must be retired when d's fill displaces it.
+    assert!(cache.try_demand_hit(d, false).is_some());
+    assert!(cache.try_demand_hit(b, false).is_some());
+    assert!(cache.try_demand_hit(d, false).is_some());
+    let e = LineAddr(5);
+    cache.fill(FillRequest::new(e), 0, &mut policy, &mut repl);
+    assert!(cache.probe_way(b).is_none(), "b was the LRU victim");
+    assert!(cache.try_demand_hit(b, false).is_none());
+    assert!(cache.try_demand_hit(e, false).is_some());
 }
 
 /// Energy accounting is monotone: more accesses never reduce any

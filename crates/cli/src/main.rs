@@ -7,7 +7,7 @@
 //! slip sweep [workload ...] [options]        benchmark x policy grid, parallel
 //! slip mix <bench_a> <bench_b> [options]     two cores, shared L3
 //! slip record <workload> <out.trc> [options] dump a synthetic trace
-//! slip bench [--quick] [--out b.json] [--check BENCH.json]
+//! slip bench [--quick] [--out b.json] [--check BENCH.json] [--tolerance PCT]
 //!                                            hot-path performance suite
 //! slip check [--full] [--oracle] [--iters N] [--seed S] [--max-len N]
 //!                                            conformance: differential fuzz +
@@ -74,7 +74,8 @@ usage:
              [--trace-mode inline|pipelined|shared|fused] [--trace-cache-mb N]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]
-  slip bench [--quick] [--out bench.json] [--check BENCH_8.json]
+  slip bench [--quick] [--out bench.json] [--check BENCH_9.json]
+             [--tolerance PCT (default SLIP_BENCH_TOL or 20)]
   slip check [--quick|--full] [--oracle] [--iters N] [--seed S] [--max-len N]
              [--accesses N] [--jobs N]
   slip serve [--addr HOST:PORT] [--jobs N] [--shards N] [--journal-dir DIR]
@@ -234,7 +235,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         let reader = workloads::io::read_trace(target).map_err(|e| e.to_string())?;
         let mut system = SingleCoreSystem::new(config_from(&o));
         for access in reader {
-            system.step(access.map_err(|e| e.to_string())?);
+            system.step_fast(access.map_err(|e| e.to_string())?);
         }
         system.finish(target.clone())
     } else {
@@ -520,14 +521,37 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Regression tolerance for `slip bench --check`: fail when the fresh
-/// suite throughput drops more than this fraction below the baseline.
+/// Default regression tolerance for `slip bench --check`: fail when
+/// the fresh suite throughput drops more than this fraction below the
+/// baseline. Override per run with `--tolerance PCT` or per
+/// environment with `SLIP_BENCH_TOL` (both in percent).
 const BENCH_REGRESSION_TOLERANCE: f64 = 0.20;
+
+/// Resolves the `--check` tolerance fraction: the `--tolerance` flag
+/// wins over the `SLIP_BENCH_TOL` environment value, which wins over
+/// the default. Both inputs are percentages in (0, 100).
+fn resolve_bench_tolerance(flag: Option<&str>, env: Option<&str>) -> Result<f64, String> {
+    let (source, text) = match (flag, env) {
+        (Some(t), _) => ("--tolerance", t),
+        (None, Some(t)) => ("SLIP_BENCH_TOL", t),
+        (None, None) => return Ok(BENCH_REGRESSION_TOLERANCE),
+    };
+    let pct: f64 = text
+        .parse()
+        .map_err(|_| format!("{source} must be a number, got {text:?}"))?;
+    if !(pct > 0.0 && pct < 100.0) {
+        return Err(format!(
+            "{source} must be a percentage in (0, 100), got {text:?}"
+        ));
+    }
+    Ok(pct / 100.0)
+}
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut check: Option<String> = None;
+    let mut tolerance_flag: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -539,9 +563,12 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--quick" => quick = true,
             "--out" => out = Some(value("--out")?),
             "--check" => check = Some(value("--check")?),
+            "--tolerance" => tolerance_flag = Some(value("--tolerance")?),
             other => return Err(format!("unknown bench option {other:?}")),
         }
     }
+    let env_tol = std::env::var("SLIP_BENCH_TOL").ok();
+    let tolerance = resolve_bench_tolerance(tolerance_flag.as_deref(), env_tol.as_deref())?;
 
     println!("slip bench ({} mode)", if quick { "quick" } else { "full" });
     let report = sim_engine::bench::run(quick);
@@ -617,7 +644,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let baseline = sweep_runner::json::Value::parse(&text)
             .map_err(|e| format!("parsing {path}: {e:?}"))?;
         let current = report.suite_accesses_per_sec;
-        let (base_rate, floor) = bench_check_verdict(current, &baseline, quick)?;
+        let (base_rate, floor) = bench_check_verdict(current, &baseline, quick, tolerance)?;
         println!(
             "\ncheck vs {path}: current {:.0} kacc/s, baseline {:.0} kacc/s (floor {:.0})",
             current / 1e3,
@@ -630,22 +657,24 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 }
 
 /// The `slip bench --check` tolerance rule, isolated for testing:
-/// `current` must stay within [`BENCH_REGRESSION_TOLERANCE`] of the
-/// baseline's suite rate. Returns `(baseline_rate, floor)` on success.
+/// `current` must stay within `tolerance` (a fraction, see
+/// [`resolve_bench_tolerance`]) of the baseline's suite rate. Returns
+/// `(baseline_rate, floor)` on success.
 fn bench_check_verdict(
     current: f64,
     baseline: &sweep_runner::json::Value,
     quick: bool,
+    tolerance: f64,
 ) -> Result<(f64, f64), String> {
     let base_rate = sim_engine::bench::baseline_suite_rate(baseline, quick)
         .ok_or_else(|| "baseline has no suite_accesses_per_sec".to_owned())?;
-    let floor = base_rate * (1.0 - BENCH_REGRESSION_TOLERANCE);
+    let floor = base_rate * (1.0 - tolerance);
     if current < floor {
         return Err(format!(
             "throughput regression: {:.0} kacc/s is more than {:.0}% below the \
              baseline {:.0} kacc/s",
             current / 1e3,
-            BENCH_REGRESSION_TOLERANCE * 100.0,
+            tolerance * 100.0,
             base_rate / 1e3
         ));
     }
@@ -1107,19 +1136,62 @@ mod tests {
     fn bench_check_passes_inside_the_tolerance_band() {
         let baseline = baseline_json(r#"{"suite_accesses_per_sec": 1000000.0}"#);
         // 20% tolerance: the floor is 800k.
-        let (base, floor) = bench_check_verdict(900_000.0, &baseline, false).unwrap();
+        let (base, floor) =
+            bench_check_verdict(900_000.0, &baseline, false, BENCH_REGRESSION_TOLERANCE).unwrap();
         assert_eq!(base, 1_000_000.0);
         assert_eq!(floor, 800_000.0);
         // Exactly at the floor still passes; faster than baseline too.
-        assert!(bench_check_verdict(800_000.0, &baseline, false).is_ok());
-        assert!(bench_check_verdict(2_000_000.0, &baseline, false).is_ok());
+        assert!(
+            bench_check_verdict(800_000.0, &baseline, false, BENCH_REGRESSION_TOLERANCE).is_ok()
+        );
+        assert!(
+            bench_check_verdict(2_000_000.0, &baseline, false, BENCH_REGRESSION_TOLERANCE).is_ok()
+        );
     }
 
     #[test]
     fn bench_check_fails_below_the_tolerance_band() {
         let baseline = baseline_json(r#"{"suite_accesses_per_sec": 1000000.0}"#);
-        let err = bench_check_verdict(799_999.0, &baseline, false).unwrap_err();
+        let err = bench_check_verdict(799_999.0, &baseline, false, BENCH_REGRESSION_TOLERANCE)
+            .unwrap_err();
         assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn bench_check_honors_a_custom_tolerance() {
+        let baseline = baseline_json(r#"{"suite_accesses_per_sec": 1000000.0}"#);
+        // A 5% band fails what the default 20% band accepts...
+        assert!(bench_check_verdict(900_000.0, &baseline, false, 0.05).is_err());
+        let (_, floor) = bench_check_verdict(960_000.0, &baseline, false, 0.05).unwrap();
+        assert_eq!(floor, 950_000.0);
+        // ...and a 50% band accepts what the default rejects.
+        assert!(bench_check_verdict(600_000.0, &baseline, false, 0.50).is_ok());
+    }
+
+    #[test]
+    fn bench_tolerance_resolution_order_and_validation() {
+        // Default when neither source is set.
+        assert_eq!(
+            resolve_bench_tolerance(None, None).unwrap(),
+            BENCH_REGRESSION_TOLERANCE
+        );
+        // Environment value applies; the flag overrides it.
+        assert_eq!(resolve_bench_tolerance(None, Some("10")).unwrap(), 0.10);
+        assert_eq!(
+            resolve_bench_tolerance(Some("35"), Some("10")).unwrap(),
+            0.35
+        );
+        assert_eq!(resolve_bench_tolerance(Some("2.5"), None).unwrap(), 0.025);
+        // Junk and out-of-range percentages are rejected, naming the
+        // offending source.
+        assert!(resolve_bench_tolerance(Some("fast"), None)
+            .unwrap_err()
+            .contains("--tolerance"));
+        assert!(resolve_bench_tolerance(None, Some("-3"))
+            .unwrap_err()
+            .contains("SLIP_BENCH_TOL"));
+        assert!(resolve_bench_tolerance(Some("0"), None).is_err());
+        assert!(resolve_bench_tolerance(Some("100"), None).is_err());
     }
 
     #[test]
@@ -1131,15 +1203,24 @@ mod tests {
         );
         // 90k passes against the quick section (floor 80k) but fails
         // against the full section (floor 800k).
-        assert!(bench_check_verdict(90_000.0, &baseline, true).is_ok());
-        assert!(bench_check_verdict(90_000.0, &baseline, false).is_err());
+        assert!(bench_check_verdict(90_000.0, &baseline, true, BENCH_REGRESSION_TOLERANCE).is_ok());
+        assert!(
+            bench_check_verdict(90_000.0, &baseline, false, BENCH_REGRESSION_TOLERANCE).is_err()
+        );
     }
 
     #[test]
     fn bench_check_rejects_baselines_without_a_suite_rate() {
         let baseline = baseline_json(r#"{"kernels": []}"#);
-        let err = bench_check_verdict(1.0, &baseline, false).unwrap_err();
+        let err =
+            bench_check_verdict(1.0, &baseline, false, BENCH_REGRESSION_TOLERANCE).unwrap_err();
         assert!(err.contains("suite_accesses_per_sec"), "{err}");
+    }
+
+    #[test]
+    fn bench_rejects_bad_tolerance_before_running() {
+        assert!(cmd_bench(&s(&["--tolerance"])).is_err());
+        assert!(cmd_bench(&s(&["--tolerance", "lots"])).is_err());
     }
 
     #[test]

@@ -121,16 +121,38 @@ impl Tlb {
     /// Looks up `page`, updating recency and hit/miss counters.
     /// Returns `true` on a hit.
     pub fn lookup(&mut self, page: PageId) -> bool {
-        if let Some(&i) = self.map.get(&page) {
-            self.hits += 1;
-            if self.head != i {
-                self.unlink(i);
-                self.push_front(i);
+        match self.probe(page) {
+            Some(i) => {
+                self.commit_hit(i);
+                true
             }
-            true
-        } else {
-            self.misses += 1;
-            false
+            None => {
+                self.misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Pure residency probe returning the entry's slot handle — no
+    /// counters, no recency update. A `Some` handle stays valid until
+    /// the next insertion or lookup miss; pass it to
+    /// [`Self::commit_hit`] to turn the probe into a real hit without
+    /// paying the map lookup twice.
+    #[inline]
+    pub fn probe(&self, page: PageId) -> Option<usize> {
+        self.map.get(&page).copied()
+    }
+
+    /// Commits a hit on a slot handle from [`Self::probe`]: counts it
+    /// and refreshes recency, exactly like a successful
+    /// [`Self::lookup`] on the probed page.
+    #[inline]
+    pub fn commit_hit(&mut self, i: usize) {
+        debug_assert!(i < self.slots.len(), "stale TLB slot handle");
+        self.hits += 1;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
         }
     }
 

@@ -1,0 +1,35 @@
+//! Standalone replay of the L1-resident hit-run kernel — the same
+//! trace `slip bench` times as `system/hit_run` — printing the
+//! best-of-N accesses/sec. Being a plain example over the public
+//! `SingleCoreSystem` API, the identical source compiles against
+//! older trees too, which is how BENCH_9.json's before/after numbers
+//! for this kernel were taken on the same window.
+//!
+//! Usage: `cargo run --release -p sim-engine --example hit_run [accesses]`
+
+use cache_sim::Access;
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::system::SingleCoreSystem;
+
+fn main() {
+    let accesses: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    // Half the L1's 512 lines, touched 4x each before moving on: every
+    // post-warmup access is an L1 hit, most through the way memo.
+    let lines: u64 = 256;
+    let trace: Vec<Access> = (0..accesses)
+        .map(|i| Access::read(((i >> 2) % lines) * 64))
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let mut sys = SingleCoreSystem::new(SystemConfig::paper_45nm(PolicyKind::Baseline));
+        let t = std::time::Instant::now();
+        sys.run(trace.iter().copied());
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(sys.finish("hit_run"));
+        best = best.min(secs);
+    }
+    println!("{:.0}", accesses as f64 / best);
+}

@@ -265,7 +265,9 @@ impl SystemConfig {
 
     /// Builds the L1 cache level.
     pub fn build_l1(&self) -> CacheLevel {
-        CacheLevel::new("L1", self.l1_geometry()).with_tag_filter(!self.reference_hot_path)
+        CacheLevel::new("L1", self.l1_geometry())
+            .with_tag_filter(!self.reference_hot_path)
+            .with_packed_lru(!self.reference_hot_path)
     }
 
     /// Builds the L2 cache level; the regular cache clocks hits at the

@@ -97,6 +97,16 @@ impl SharedL1 {
     /// nothing touches the L1 in between on a non-inclusive hierarchy.
     /// Dirty victims append to `wbs`; returns `(hit, latency)`.
     fn step(&mut self, access: Access, wbs: &mut Vec<LineAddr>) -> (bool, u32) {
+        if self.level.packed_lru_enabled() {
+            // SoA fast hit; a miss mutates nothing and falls into the
+            // full access below, which re-probes and records it.
+            if let Some(latency) = self
+                .level
+                .try_demand_hit(access.line(), access.kind.is_write())
+            {
+                return (true, latency);
+            }
+        }
         let r = self.level.access(
             access.line(),
             access.kind,
@@ -188,6 +198,13 @@ fn run_segment(
             for sys in systems.iter_mut() {
                 if sys.has_mmu() {
                     for (i, &a) in scratch.accesses.iter().enumerate() {
+                        // Shared-L1 hits on TLB-resident blocks batch
+                        // into the cell's pending hit run (the TLB hit
+                        // commits eagerly; the rest is a pure credit).
+                        let v = scratch.verdicts[i];
+                        if v.hit && sys.try_absorb_shared_hit(a, v.latency) {
+                            continue;
+                        }
                         sys.step_below_l1(a, &scratch.verdict(i));
                     }
                 } else {
@@ -216,7 +233,7 @@ fn run_segment(
         None => {
             for sys in systems.iter_mut() {
                 for &a in &scratch.accesses {
-                    sys.step(a);
+                    sys.step_fast(a);
                 }
             }
         }

@@ -168,7 +168,7 @@ fn warmup_then_measure(
     let mut system = SingleCoreSystem::new(config);
     for _ in 0..warmup {
         let access = accesses.next().expect("trace long enough for warmup");
-        system.step(access);
+        system.step_fast(access);
     }
     system.reset_measurements();
     let started = Instant::now();
@@ -198,13 +198,13 @@ pub fn run_workload_from_buffer(
     for chunk in chunks.by_ref() {
         if remaining >= chunk.len() {
             for &word in chunk {
-                system.step(unpack_access(word));
+                system.step_fast(unpack_access(word));
             }
             remaining -= chunk.len();
         } else {
             let (head, rest) = chunk.split_at(remaining);
             for &word in head {
-                system.step(unpack_access(word));
+                system.step_fast(unpack_access(word));
             }
             remaining = 0;
             tail = rest;

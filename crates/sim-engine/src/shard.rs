@@ -104,13 +104,13 @@ fn run_shard_spec(
     for _ in 0..warmup {
         let access = trace.next().expect("trace long enough for warmup");
         if access.line().0 & mask == k {
-            system.step(access);
+            system.step_fast(access);
         }
     }
     system.reset_measurements();
     for access in trace {
         if access.line().0 & mask == k {
-            system.step(access);
+            system.step_fast(access);
         }
     }
     system
@@ -135,7 +135,7 @@ fn run_shard_buffer(
             }
             index += 1;
             if (word >> 1) & mask == k {
-                system.step(unpack_access(word));
+                system.step_fast(unpack_access(word));
             }
         }
     }

@@ -1,13 +1,16 @@
-//! Golden equivalence of the trace pipeline: inline, pipelined, and
-//! shared-`Arc<TraceBuffer>` execution must produce bit-identical
-//! `SimResult`s for the benchmark × policy grid — serial and at four
-//! workers — and a journal resume across a shared-trace group must stay
-//! deterministic. Results are compared by their exact journal payload
-//! text, the same fingerprint the determinism tier-1 test uses.
+//! Golden equivalence of the trace pipeline: inline, pipelined,
+//! shared-`Arc<TraceBuffer>`, and fused execution must produce
+//! bit-identical `SimResult`s for the benchmark × policy grid — at one
+//! and four workers, unsharded and set-sharded — and a journal resume
+//! across a shared-trace group must stay deterministic. The anchor is
+//! the seed golden: each cell re-run through the verbatim reference hot
+//! path (`reference_hot_path = true`), compared by its exact journal
+//! payload text, the same fingerprint the determinism tier-1 test uses.
 
 use sim_engine::codec;
 use sim_engine::config::PolicyKind;
 use sim_engine::experiments::{SuiteOptions, SuiteResults};
+use sim_engine::system::run_workload_with_warmup;
 use sim_engine::{SweepConfig, TraceMode};
 
 fn grid_options() -> SuiteOptions {
@@ -37,29 +40,72 @@ fn fingerprints(suite: &SuiteResults) -> Vec<String> {
         .collect()
 }
 
-fn run(mode: TraceMode, jobs: usize) -> Vec<String> {
-    let sweep = SweepConfig::with_jobs(jobs).with_trace_mode(mode);
+fn run(mode: TraceMode, jobs: usize, shards: usize) -> Vec<String> {
+    let sweep = SweepConfig::with_jobs(jobs)
+        .with_trace_mode(mode)
+        .with_shards(shards);
     fingerprints(&SuiteResults::run_with(grid_options(), &sweep).unwrap())
 }
 
+/// The seed golden: every cell of the grid re-run through the verbatim
+/// reference hot path, in the same grid order `fingerprints` uses.
+fn reference_goldens(suite: &SuiteResults) -> Vec<String> {
+    suite
+        .benchmarks()
+        .iter()
+        .flat_map(|&bench| {
+            let opts = &suite.options;
+            opts.policies.iter().map(move |&policy| {
+                let mut config = opts.cell_config(policy);
+                config.reference_hot_path = true;
+                let spec = workloads::workload(bench).expect("known benchmark");
+                let result = run_workload_with_warmup(config, &spec, opts.accesses, opts.warmup);
+                codec::encode_result(&result).to_json()
+            })
+        })
+        .collect()
+}
+
 #[test]
-fn all_modes_agree_bit_exactly_at_one_and_four_jobs() {
-    let reference = run(TraceMode::Inline, 1);
-    for mode in [TraceMode::Inline, TraceMode::Pipelined, TraceMode::Shared] {
+fn all_modes_agree_with_the_seed_golden_across_jobs_and_shards() {
+    // Anchor: the reference path, cell by cell. Everything else — every
+    // trace mode, worker count, and shard count, all of which run the
+    // batched fast path by default — must reproduce it bit for bit.
+    let inline = SuiteResults::run_with(
+        grid_options(),
+        &SweepConfig::with_jobs(1).with_trace_mode(TraceMode::Inline),
+    )
+    .unwrap();
+    let reference = reference_goldens(&inline);
+    assert_eq!(
+        fingerprints(&inline),
+        reference,
+        "inline serial diverges from the reference-path seed golden"
+    );
+    for mode in [
+        TraceMode::Inline,
+        TraceMode::Pipelined,
+        TraceMode::Shared,
+        TraceMode::Fused,
+    ] {
         for jobs in [1, 4] {
-            assert_eq!(
-                run(mode, jobs),
-                reference,
-                "{} at jobs={jobs} diverges from inline serial",
-                mode.label()
-            );
+            // Fused groups own their worker and ignore shards; running
+            // the shards=2 leg anyway asserts exactly that.
+            for shards in [1, 2] {
+                assert_eq!(
+                    run(mode, jobs, shards),
+                    reference,
+                    "{} at jobs={jobs} shards={shards} diverges from the seed golden",
+                    mode.label()
+                );
+            }
         }
     }
 }
 
 #[test]
 fn zero_cache_budget_falls_back_without_changing_results() {
-    let reference = run(TraceMode::Inline, 1);
+    let reference = run(TraceMode::Inline, 1, 1);
     let starved = SweepConfig {
         trace_cache_mb: 0,
         ..SweepConfig::with_jobs(2).with_trace_mode(TraceMode::Shared)

@@ -1,0 +1,149 @@
+//! Fast-path determinism check: the batched L1-resident fast path
+//! (SoA set layout, hit-run scanner, way memo, TLB-residency gate)
+//! must be bit-identical to the verbatim reference path.
+//!
+//! This is the conformance-side guarantee backing the default
+//! execution path: `reference_hot_path = false` is purely an execution
+//! strategy, never a modeling change. The check replays adversarial
+//! trace families — the repeat-heavy ones that exercise the way memo
+//! and hit-run batching hardest, plus tag aliases, address edges, and
+//! TLB thrash that stress its invalidation and residency gating —
+//! through three executions per case:
+//!
+//! 1. the reference path (`reference_hot_path = true`),
+//! 2. the optimized buffer replay (`run_chunks` + hit-run scanner),
+//! 3. the optimized per-access inline loop (`step_fast` directly),
+//!
+//! and compares all encoded results byte for byte.
+
+use crate::adversarial::{self, Pattern};
+use crate::invariants::Violation;
+use sim_engine::config::{PolicyKind, SystemConfig};
+use sim_engine::system::SingleCoreSystem;
+use sim_engine::{codec, run_workload_from_buffer};
+use workloads::TraceBuffer;
+
+/// Where two JSON payloads first differ, with a little context — enough
+/// to name the diverging field without dumping two full results.
+fn first_difference(a: &str, b: &str) -> String {
+    let at = a
+        .bytes()
+        .zip(b.bytes())
+        .position(|(x, y)| x != y)
+        .unwrap_or_else(|| a.len().min(b.len()));
+    let start = at.saturating_sub(40);
+    let excerpt = |s: &str| -> String {
+        s.get(start..(at + 40).min(s.len()))
+            .unwrap_or("<non-utf8 boundary>")
+            .to_owned()
+    };
+    format!(
+        "first divergence at byte {at}:\n    reference: …{}…\n    fast path: …{}…",
+        excerpt(a),
+        excerpt(b)
+    )
+}
+
+/// Inline per-access replay through the hit-run scanner: the warmup
+/// boundary and finish sequence of `run_workload_from_buffer`, but
+/// stepping `step_fast` on unpacked accesses instead of whole chunks.
+fn run_inline_fast(
+    config: SystemConfig,
+    name: &str,
+    buffer: &TraceBuffer,
+    warmup: u64,
+) -> sim_engine::SimResult {
+    let mut system = SingleCoreSystem::new(config);
+    let mut index = 0u64;
+    for chunk in buffer.chunks() {
+        for &word in chunk {
+            if index == warmup {
+                system.reset_measurements();
+            }
+            index += 1;
+            system.step_fast(workloads::unpack_access(word));
+        }
+    }
+    assert!(index >= warmup, "trace long enough for warmup");
+    system.finish(name.to_owned())
+}
+
+/// Replays one adversarial trace per (pattern, policy) case through the
+/// reference path and two fast-path executions, requiring bit-identical
+/// encoded results. A slice of the trace is treated as warmup so
+/// flushing the pending hit run at the measurement boundary is
+/// exercised as well.
+pub fn check_fastpath_determinism(seed: u64, trace_len: u64, quiet: bool) -> Result<(), Violation> {
+    let cases: [(Pattern, PolicyKind, Option<sim_engine::ReplacementKind>); 7] = [
+        (Pattern::SingleLineLoop, PolicyKind::Baseline, None),
+        (Pattern::ConflictStorm, PolicyKind::Baseline, None),
+        (Pattern::TagAlias, PolicyKind::NuRapid, None),
+        (Pattern::PhaseChange, PolicyKind::LruPea, None),
+        (Pattern::MaxAddressEdge, PolicyKind::Baseline, None),
+        (
+            Pattern::RandomMix,
+            PolicyKind::Baseline,
+            Some(sim_engine::ReplacementKind::Drrip),
+        ),
+        (Pattern::TlbThrash, PolicyKind::SlipAbp, None),
+    ];
+    for (i, (pattern, policy, replacement)) in cases.into_iter().enumerate() {
+        let scenario = format!("{pattern}/{policy:?}");
+        if !quiet {
+            eprintln!("  fastpath-determinism: {scenario}");
+        }
+        let trace = adversarial::generate(pattern, seed ^ ((i as u64) << 8), trace_len);
+        let buffer = TraceBuffer::materialize(trace.iter().copied());
+        let mut config = SystemConfig::paper_45nm(policy);
+        if let Some(r) = replacement {
+            config.replacement = r;
+        }
+        let warmup = trace_len / 8;
+
+        let mut reference = config.clone();
+        reference.reference_hot_path = true;
+        let want = codec::encode_result(&run_workload_from_buffer(
+            reference, &scenario, &buffer, warmup,
+        ))
+        .to_json();
+
+        debug_assert!(!config.reference_hot_path);
+        for (mode, result) in [
+            (
+                "buffer replay",
+                run_workload_from_buffer(config.clone(), &scenario, &buffer, warmup),
+            ),
+            (
+                "inline step_fast",
+                run_inline_fast(config.clone(), &scenario, &buffer, warmup),
+            ),
+        ] {
+            let got = codec::encode_result(&result).to_json();
+            if got != want {
+                return Err(Violation {
+                    invariant: "fastpath-determinism",
+                    scenario,
+                    step: None,
+                    detail: format!(
+                        "optimized {mode} is not bit-identical to the reference path \
+                         (seed {seed:#x}, {trace_len} accesses, warmup {warmup});\n  {}",
+                        first_difference(&want, &got)
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_path_matches_reference_over_adversarial_families() {
+        if let Err(v) = check_fastpath_determinism(0x511b, 4_000, true) {
+            panic!("{v}");
+        }
+    }
+}

@@ -25,6 +25,7 @@
 
 pub mod adversarial;
 pub mod differential;
+pub mod fastpath;
 pub mod fused;
 pub mod invariants;
 pub mod oracle;
@@ -33,6 +34,7 @@ pub mod shard;
 
 pub use adversarial::{generate, Pattern};
 pub use differential::{run_fuzz, Divergence, FuzzOptions, Scenario};
+pub use fastpath::check_fastpath_determinism;
 pub use fused::check_fused_determinism;
 pub use invariants::{
     check_default_slip_equivalence, check_eou_exhaustive, run_with_invariants, standard_invariants,
@@ -45,7 +47,8 @@ pub use shard::check_shard_determinism;
 /// Runs the quick invariant sweep used by `slip check`: the standard
 /// invariants over one adversarial trace per (pattern, policy) pairing,
 /// plus the standalone EOU, Default-SLIP, serve-determinism,
-/// shard-determinism, and fused-determinism equivalence checks.
+/// shard-determinism, fused-determinism, and fastpath-determinism
+/// equivalence checks.
 /// Returns every violation found (empty = clean).
 pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violation> {
     use sim_engine::config::{PolicyKind, SystemConfig};
@@ -93,6 +96,9 @@ pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violat
         violations.push(v);
     }
     if let Err(v) = fused::check_fused_determinism(seed, trace_len, quiet) {
+        violations.push(v);
+    }
+    if let Err(v) = fastpath::check_fastpath_determinism(seed, trace_len, quiet) {
         violations.push(v);
     }
     violations

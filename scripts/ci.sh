@@ -22,11 +22,13 @@ echo "==> cargo test -q"
 cargo test -q
 
 # Conformance gate: bounded differential fuzz + invariant sweep
-# (including the shard-determinism check: 2- and 4-shard runs must be
-# bit-identical to serial over the adversarial trace families) at a
-# fixed seed, so every run covers the identical scenario set. Override
-# the iteration budget with SLIP_FUZZ_ITERS if the default is too slow
-# on a given machine. The nightly-equivalent full budget is:
+# (including the shard-, fused-, and fastpath-determinism checks: the
+# sharded/fused executions and the batched L1 fast path — the default
+# hot path since PR 9 — must be bit-identical to the verbatim
+# reference over the adversarial trace families) at a fixed seed, so
+# every run covers the identical scenario set. Override the iteration
+# budget with SLIP_FUZZ_ITERS if the default is too slow on a given
+# machine. The nightly-equivalent full budget is:
 #   ./target/release/slip check --full --oracle
 echo "==> slip check --quick --seed 0x511b"
 SLIP_FUZZ_ITERS="${SLIP_FUZZ_ITERS:-48}" ./target/release/slip check --quick --seed 0x511b
@@ -102,13 +104,14 @@ echo "==> slip sweep --trace-mode fused smoke"
     --trace-mode fused >/dev/null
 
 # Perf-regression smoke: the quick microbench suite must stay within
-# 20% of the committed baseline (BENCH_8.json). Wall-clock sensitive,
-# so allow opting out on loaded/shared machines.
+# the tolerance (default 20%, override with --tolerance/SLIP_BENCH_TOL)
+# of the committed baseline (BENCH_9.json). Wall-clock sensitive, so
+# allow opting out on loaded/shared machines.
 if [ "${SLIP_SKIP_BENCH:-0}" = "1" ]; then
     echo "==> SLIP_SKIP_BENCH=1; skipping bench smoke"
 else
-    echo "==> slip bench --quick --check BENCH_8.json"
-    ./target/release/slip bench --quick --check BENCH_8.json
+    echo "==> slip bench --quick --check BENCH_9.json"
+    ./target/release/slip bench --quick --check BENCH_9.json
 fi
 
 echo "==> ci OK"
