@@ -509,10 +509,16 @@ impl CacheLevel {
     }
 
     /// The level's energy account, rebuilt from the integer event ledger
-    /// (one multiply per category × way, in a pinned fold order).
+    /// (one multiply per category × way, in a pinned fold order). Reads
+    /// and writes are priced from separate tables so asymmetric
+    /// technologies (STT-RAM) charge insertions at the write cost; for
+    /// symmetric geometries this is bit-identical to a single-table
+    /// finalize.
     pub fn energy(&self) -> EnergyAccount {
-        self.ledger.to_account(
+        self.ledger.to_account_rw(
             &self.geom.way_energy,
+            &self.geom.way_write_energy,
+            &self.geom.way_insert_energy,
             self.metadata_energy,
             self.mvq_lookup_energy,
         )

@@ -172,6 +172,25 @@ impl Iterator for WayMaskIter {
 
 impl ExactSizeIterator for WayMaskIter {}
 
+/// Per-sublevel energies and latency for [`CacheGeometry::from_rw_sublevels`].
+///
+/// SRAM sublevels have `read == write == insert`; asymmetric
+/// technologies (STT-RAM) price writes — and therefore insertions —
+/// several times higher than reads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SublevelEnergies {
+    /// Ways in this sublevel.
+    pub ways: usize,
+    /// Read energy per access.
+    pub read: Energy,
+    /// Write energy per access.
+    pub write: Energy,
+    /// Insertion energy (the write of an incoming line).
+    pub insert: Energy,
+    /// Hit latency in cycles.
+    pub latency: u32,
+}
+
 /// Static geometry of one cache level.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CacheGeometry {
@@ -181,33 +200,42 @@ pub struct CacheGeometry {
     pub ways: usize,
     /// Sublevel index of each way (nearest sublevel = 0), length `ways`.
     pub sublevel_of_way: Vec<u8>,
-    /// Per-way access energy (read == write), length `ways`.
+    /// Per-way *read* access energy, length `ways`.
     pub way_energy: Vec<Energy>,
+    /// Per-way *write* energy, length `ways`; equals `way_energy` for
+    /// symmetric (SRAM) technologies.
+    pub way_write_energy: Vec<Energy>,
+    /// Per-way *insertion* energy, length `ways`; equals
+    /// `way_write_energy` unless the technology prices insertions
+    /// separately.
+    pub way_insert_energy: Vec<Energy>,
     /// Per-way hit latency in cycles, length `ways`.
     pub way_latency: Vec<u32>,
 }
 
 impl CacheGeometry {
-    /// Builds a geometry from per-sublevel descriptions.
-    ///
-    /// `sublevels` lists `(way_count, access_energy, latency)` per
-    /// sublevel, nearest first.
+    /// Builds a geometry from per-sublevel descriptions with separate
+    /// read/write/insertion energies.
     ///
     /// # Panics
     ///
     /// Panics if `sets` is zero or the way counts sum to zero or exceed 32.
-    pub fn from_sublevels(sets: usize, sublevels: &[(usize, Energy, u32)]) -> Self {
+    pub fn from_rw_sublevels(sets: usize, sublevels: &[SublevelEnergies]) -> Self {
         assert!(sets > 0, "cache must have at least one set");
-        let ways: usize = sublevels.iter().map(|s| s.0).sum();
+        let ways: usize = sublevels.iter().map(|s| s.ways).sum();
         assert!(ways > 0 && ways <= 32, "1..=32 ways required, got {ways}");
         let mut sublevel_of_way = Vec::with_capacity(ways);
         let mut way_energy = Vec::with_capacity(ways);
+        let mut way_write_energy = Vec::with_capacity(ways);
+        let mut way_insert_energy = Vec::with_capacity(ways);
         let mut way_latency = Vec::with_capacity(ways);
-        for (s, &(n, e, lat)) in sublevels.iter().enumerate() {
-            for _ in 0..n {
+        for (s, sub) in sublevels.iter().enumerate() {
+            for _ in 0..sub.ways {
                 sublevel_of_way.push(s as u8);
-                way_energy.push(e);
-                way_latency.push(lat);
+                way_energy.push(sub.read);
+                way_write_energy.push(sub.write);
+                way_insert_energy.push(sub.insert);
+                way_latency.push(sub.latency);
             }
         }
         CacheGeometry {
@@ -215,8 +243,33 @@ impl CacheGeometry {
             ways,
             sublevel_of_way,
             way_energy,
+            way_write_energy,
+            way_insert_energy,
             way_latency,
         }
+    }
+
+    /// Builds a symmetric geometry from per-sublevel descriptions.
+    ///
+    /// `sublevels` lists `(way_count, access_energy, latency)` per
+    /// sublevel, nearest first; writes and insertions cost the same as
+    /// reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or the way counts sum to zero or exceed 32.
+    pub fn from_sublevels(sets: usize, sublevels: &[(usize, Energy, u32)]) -> Self {
+        let rw: Vec<SublevelEnergies> = sublevels
+            .iter()
+            .map(|&(ways, e, latency)| SublevelEnergies {
+                ways,
+                read: e,
+                write: e,
+                insert: e,
+                latency,
+            })
+            .collect();
+        Self::from_rw_sublevels(sets, &rw)
     }
 
     /// A uniform (single-sublevel) geometry, e.g. for an L1.
@@ -277,10 +330,27 @@ impl CacheGeometry {
         self.sublevel_of_way[way] as usize
     }
 
-    /// Access energy of `way`.
+    /// Read access energy of `way`.
     #[inline]
     pub fn energy(&self, way: usize) -> Energy {
         self.way_energy[way]
+    }
+
+    /// Write energy of `way`.
+    #[inline]
+    pub fn write_energy(&self, way: usize) -> Energy {
+        self.way_write_energy[way]
+    }
+
+    /// Insertion energy of `way`.
+    #[inline]
+    pub fn insert_energy(&self, way: usize) -> Energy {
+        self.way_insert_energy[way]
+    }
+
+    /// `true` when reads, writes, and insertions share one energy table.
+    pub fn is_symmetric(&self) -> bool {
+        self.way_write_energy == self.way_energy && self.way_insert_energy == self.way_energy
     }
 
     /// Hit latency of `way` in cycles.
@@ -389,5 +459,43 @@ mod tests {
     #[should_panic(expected = "1..=32 ways")]
     fn geometry_rejects_too_many_ways() {
         CacheGeometry::from_sublevels(4, &[(33, Energy::ZERO, 1)]);
+    }
+
+    #[test]
+    fn symmetric_constructors_fill_all_three_tables() {
+        let g = paper_l2();
+        assert!(g.is_symmetric());
+        assert_eq!(g.way_write_energy, g.way_energy);
+        assert_eq!(g.way_insert_energy, g.way_energy);
+        assert_eq!(g.write_energy(10), g.energy(10));
+        assert_eq!(g.insert_energy(0), g.energy(0));
+    }
+
+    #[test]
+    fn rw_geometry_carries_asymmetric_tables() {
+        let g = CacheGeometry::from_rw_sublevels(
+            2048,
+            &[
+                SublevelEnergies {
+                    ways: 4,
+                    read: Energy::from_pj(40.0),
+                    write: Energy::from_pj(240.0),
+                    insert: Energy::from_pj(240.0),
+                    latency: 15,
+                },
+                SublevelEnergies {
+                    ways: 12,
+                    read: Energy::from_pj(106.0),
+                    write: Energy::from_pj(636.0),
+                    insert: Energy::from_pj(500.0),
+                    latency: 23,
+                },
+            ],
+        );
+        assert!(!g.is_symmetric());
+        assert_eq!(g.energy(0).as_pj(), 40.0);
+        assert_eq!(g.write_energy(0).as_pj(), 240.0);
+        assert_eq!(g.insert_energy(15).as_pj(), 500.0);
+        assert_eq!(g.sublevel(15), 1);
     }
 }

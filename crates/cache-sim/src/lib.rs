@@ -54,7 +54,7 @@ pub mod stats;
 
 pub use addr::{Access, AccessClass, AccessKind, LineAddr, PageId};
 pub use cache::{AccessResult, CacheLevel, EvictionBuf, FillOutcome, HitInfo};
-pub use geometry::{CacheGeometry, WayMask};
+pub use geometry::{CacheGeometry, SublevelEnergies, WayMask};
 pub use line::{EvictedLine, LineState};
 pub use movement::MovementQueue;
 pub use policy::{BaselinePolicy, FillRequest, InsertionClass, PlacementPolicy};

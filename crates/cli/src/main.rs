@@ -38,6 +38,12 @@
 //!   --trace-cache-mb <N>  shared-trace cache budget in MiB; over-budget
 //!                       groups regenerate pipelined, 0 disables sharing
 //!                                                       (default SLIP_TRACE_CACHE_MB or 1024)
+//!   --topology <node|file>  hierarchy spec: a built-in technology node
+//!                       (45nm, 22nm, stt-llc) or a spec file giving
+//!                       per-level geometry and read/write/insertion
+//!                       energies; malformed files are rejected with
+//!                       line/column diagnostics
+//!                                                       (default SLIP_TOPOLOGY or built-in 45 nm)
 //! ```
 
 use sim_engine::config::{PolicyKind, ReplacementKind, SystemConfig};
@@ -68,21 +74,24 @@ usage:
   slip list
   slip run <workload|file.trc> [--policy P] [--accesses N] [--seed S]
            [--replacement R] [--inclusive] [--csv out.csv] [--shards N]
+           [--topology NODE|FILE]
   slip compare <workload> [--accesses N] [--seed S] [--jobs N]
+               [--topology NODE|FILE]
   slip sweep [workload ...] [--accesses N] [--jobs N] [--shards N]
-             [--journal run.jsonl]
+             [--journal run.jsonl] [--topology NODE|FILE]
              [--trace-mode inline|pipelined|shared|fused] [--trace-cache-mb N]
   slip mix <bench_a> <bench_b> [--accesses N] [--seed S]
   slip record <workload> <out.trc> [--accesses N] [--seed S]
   slip bench [--quick] [--out bench.json] [--check BENCH_9.json]
              [--tolerance PCT (default SLIP_BENCH_TOL or 20)]
   slip check [--quick|--full] [--oracle] [--iters N] [--seed S] [--max-len N]
-             [--accesses N] [--jobs N]
+             [--accesses N] [--jobs N] [--topology NODE|FILE]
   slip serve [--addr HOST:PORT] [--jobs N] [--shards N] [--journal-dir DIR]
              [--trace-mode inline|pipelined|shared|fused]
              [--trace-cache-mb N] [--port-file FILE] [--quiet]
   slip submit [workload ...] [--policy P]... [--accesses N] [--warmup N]
-              [--connect HOST:PORT] [--verify-offline] [--quiet]
+              [--topology NODE|FILE] [--connect HOST:PORT] [--verify-offline]
+              [--quiet]
   slip submit --resume RUN_ID [--ack N] [--connect HOST:PORT]
   slip submit --stats|--shutdown [--connect HOST:PORT]";
 
@@ -117,6 +126,7 @@ struct Options {
     journal: Option<PathBuf>,
     trace_mode: TraceMode,
     trace_cache_mb: u64,
+    topology: Option<String>,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -133,6 +143,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         journal: sim_engine::env::journal(),
         trace_mode: sim_engine::env::trace_mode(),
         trace_cache_mb: sim_engine::env::trace_cache_mb(),
+        topology: sim_engine::env::topology(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -191,6 +202,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--trace-cache-mb: {e}"))?
             }
+            "--topology" => o.topology = Some(value("--topology")?),
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             _ => o.positional.push(a.clone()),
         }
@@ -205,12 +217,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(o)
 }
 
-fn config_from(o: &Options) -> SystemConfig {
-    let mut c = SystemConfig::paper_45nm(o.policy);
+/// Resolves the `--topology` argument (or `SLIP_TOPOLOGY`) into a
+/// parsed, validated hierarchy spec; `None` means the compiled-in
+/// 45 nm configuration. Malformed files fail here with the parser's
+/// line/column diagnostic.
+fn load_topology(o: &Options) -> Result<Option<energy_model::HierarchySpec>, String> {
+    o.topology
+        .as_deref()
+        .map(energy_model::HierarchySpec::load)
+        .transpose()
+}
+
+fn config_from(o: &Options) -> Result<SystemConfig, String> {
+    let mut c = match load_topology(o)? {
+        Some(spec) => SystemConfig::from_topology(&spec, o.policy)?,
+        None => SystemConfig::paper_45nm(o.policy),
+    };
     c.replacement = o.replacement;
     c.inclusive_llc = o.inclusive;
     c.seed = o.seed;
-    c
+    Ok(c)
 }
 
 fn cmd_list() -> Result<(), String> {
@@ -233,7 +259,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
     let result = if target.ends_with(".trc") {
         let reader = workloads::io::read_trace(target).map_err(|e| e.to_string())?;
-        let mut system = SingleCoreSystem::new(config_from(&o));
+        let mut system = SingleCoreSystem::new(config_from(&o)?);
         for access in reader {
             system.step_fast(access.map_err(|e| e.to_string())?);
         }
@@ -241,7 +267,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     } else {
         let spec = workloads::workload(target)
             .ok_or_else(|| format!("unknown workload {target:?} (try `slip list`)"))?;
-        let config = config_from(&o);
+        let config = config_from(&o)?;
         if o.trace_mode == TraceMode::Fused {
             // Single-cell fused replay: decode one materialized
             // buffer — the exact path a fused sweep group takes.
@@ -377,8 +403,9 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
     );
     // One independently-seeded run per policy, drained by the worker
     // pool; PolicyKind::ALL[0] is the baseline.
+    let base_config = config_from(&o)?;
     let results = sweep_runner::run_indexed(PolicyKind::ALL.len(), o.jobs, |i| {
-        let mut cfg = config_from(&o);
+        let mut cfg = base_config.clone();
         cfg.policy = PolicyKind::ALL[i];
         run_workload(cfg, &spec, o.accesses)
     });
@@ -414,9 +441,12 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             })
             .collect::<Result<_, _>>()?
     };
-    let options = SuiteOptions::paper_full()
+    let mut options = SuiteOptions::paper_full()
         .with_benchmarks(&benchmarks)
         .with_accesses(o.accesses);
+    if let Some(spec) = load_topology(&o)? {
+        options = options.with_topology(spec);
+    }
     let sweep = SweepConfig {
         jobs: o.jobs,
         shards: o.shards,
@@ -479,10 +509,10 @@ fn cmd_mix(args: &[String]) -> Result<(), String> {
     };
     let spec_a = workloads::workload(a).ok_or_else(|| format!("unknown workload {a:?}"))?;
     let spec_b = workloads::workload(b).ok_or_else(|| format!("unknown workload {b:?}"))?;
-    let mut base_cfg = config_from(&o);
+    let mut base_cfg = config_from(&o)?;
     base_cfg.policy = PolicyKind::Baseline;
     let base = run_mix(base_cfg, &spec_a, &spec_b, o.accesses);
-    let mut slip_cfg = config_from(&o);
+    let mut slip_cfg = config_from(&o)?;
     slip_cfg.policy = o.policy;
     let slip = run_mix(slip_cfg, &spec_a, &spec_b, o.accesses);
     println!("mix {a}+{b}, {} accesses/core, shared 2 MB L3", o.accesses);
@@ -689,6 +719,7 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     let mut seed = 0x511bu64;
     let mut accesses = 1_000_000u64;
     let mut jobs = sim_engine::env::jobs();
+    let mut topology = sim_engine::env::topology();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -732,9 +763,16 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--jobs: {e}"))?
             }
+            "--topology" => topology = Some(value("--topology")?),
             other => return Err(format!("unknown check option {other:?}")),
         }
     }
+    // Resolve the spec up front: a malformed file must fail fast with
+    // the parser's line/column diagnostic, not after minutes of fuzz.
+    let topology_spec = topology
+        .as_deref()
+        .map(energy_model::HierarchySpec::load)
+        .transpose()?;
 
     let mut opts = if full {
         slip_conformance::FuzzOptions::full(seed)
@@ -765,7 +803,15 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
 
     println!("[2/{phases}] executable invariants");
     let invariant_len = if full { 20_000 } else { 5_000 };
-    let violations = slip_conformance::run_invariant_sweep(seed, invariant_len, opts.quiet);
+    let mut violations = slip_conformance::run_invariant_sweep(seed, invariant_len, opts.quiet);
+    if let Some(spec) = &topology_spec {
+        // Hold the user's spec to the same bar as the built-ins (which
+        // the sweep above already covered).
+        println!("  topology {}: run-mode determinism", spec.name);
+        if let Err(v) = slip_conformance::check_spec_determinism(spec, invariant_len, opts.quiet) {
+            violations.push(v);
+        }
+    }
     for v in &violations {
         println!("{v}");
     }
@@ -868,7 +914,9 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
         policies: Vec::new(),
         accesses: 1_000_000,
         warmup: 0,
+        topology: None,
     };
+    let mut topology_arg = sim_engine::env::topology();
     let mut resume: Option<String> = None;
     let mut ack: u64 = 0;
     let mut stats = false;
@@ -895,6 +943,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("--warmup: {e}"))?
             }
+            "--topology" => topology_arg = Some(value("--topology")?),
             "--resume" => resume = Some(value("--resume")?),
             "--ack" => ack = value("--ack")?.parse().map_err(|e| format!("--ack: {e}"))?,
             "--stats" => stats = true,
@@ -904,6 +953,16 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             other if other.starts_with("--") => return Err(format!("unknown option {other:?}")),
             _ => spec.benchmarks.push(a.clone()),
         }
+    }
+    if let Some(arg) = topology_arg {
+        // The server never reads client file paths: built-in node names
+        // travel as-is, anything else is loaded locally (failing fast
+        // on malformed specs) and sent as canonical spec text.
+        spec.topology = Some(if energy_model::BUILTIN_NAMES.contains(&arg.as_str()) {
+            arg
+        } else {
+            energy_model::HierarchySpec::load(&arg)?.format()
+        });
     }
 
     if stats {
@@ -1102,6 +1161,35 @@ mod tests {
         assert!(err.contains("fused"), "{err}");
         // Order must not matter.
         assert!(parse_options(&s(&["--shards", "2", "--trace-mode", "fused"])).is_err());
+    }
+
+    #[test]
+    fn topology_option_resolves_builtins_and_rejects_garbage() {
+        let o = parse_options(&s(&["--topology", "stt-llc"])).unwrap();
+        assert_eq!(o.topology.as_deref(), Some("stt-llc"));
+        let spec = load_topology(&o).unwrap().unwrap();
+        assert_eq!(spec.name, "stt-llc");
+        // from_topology honors the spec's asymmetric LLC energies.
+        let c = config_from(&o).unwrap();
+        assert_eq!(c.tech.name, "stt-llc");
+        // Unknown names / missing files surface as CLI errors.
+        let bad = parse_options(&s(&["--topology", "no-such-node-or-file"])).unwrap();
+        assert!(load_topology(&bad).is_err());
+        assert!(config_from(&bad).is_err());
+        // A malformed file is rejected with a line/column diagnostic.
+        let mut path = std::env::temp_dir();
+        path.push(format!("slip-cli-topo-{}.topo", std::process::id()));
+        std::fs::write(&path, "node broken\nwire 0.16\n").unwrap();
+        let malformed = parse_options(&s(&["--topology", path.to_str().unwrap()])).unwrap();
+        let err = load_topology(&malformed).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn check_accepts_topology_and_rejects_bad_values() {
+        assert!(cmd_check(&s(&["--topology"])).is_err());
+        assert!(cmd_check(&s(&["--topology", "no-such-node"])).is_err());
     }
 
     #[test]

@@ -312,6 +312,72 @@ impl EnergyLedger {
         }
         acct
     }
+
+    /// Like [`EnergyLedger::to_account`], but with separate read, write,
+    /// and insertion energy tables for asymmetric technologies (STT-RAM):
+    ///
+    /// * `Access` and `Writeback` events are reads — a writeback *reads*
+    ///   the dirty victim out of the level;
+    /// * `Insertion` events are writes of the incoming line, priced by
+    ///   the insert table;
+    /// * `Movement` events are recorded once at the source way (a read)
+    ///   and once at the target way (a write), so each event is priced
+    ///   at the read/write mean of its way — the pair then sums to one
+    ///   full read plus one full write on average.
+    ///
+    /// With `write == insert == read` this is bit-identical to
+    /// [`EnergyLedger::to_account`]: `(r + r) * 0.5` is exactly `r` in
+    /// IEEE arithmetic and every charge folds in the same order.
+    pub fn to_account_rw(
+        &self,
+        read_energy: &[Energy],
+        write_energy: &[Energy],
+        insert_energy: &[Energy],
+        metadata_energy: Energy,
+        mvq_energy: Energy,
+    ) -> EnergyAccount {
+        assert_eq!(read_energy.len(), self.ways, "read energy table mismatch");
+        assert_eq!(write_energy.len(), self.ways, "write energy table mismatch");
+        assert_eq!(
+            insert_energy.len(),
+            self.ways,
+            "insert energy table mismatch"
+        );
+        let mut acct = EnergyAccount::new();
+        for (ci, &cat) in Self::WAY_CATEGORIES.iter().enumerate() {
+            for way in 0..self.ways {
+                let n = self.way_counts[ci * self.ways + way];
+                if n != 0 {
+                    let e = match cat {
+                        EnergyCategory::Access | EnergyCategory::Writeback => read_energy[way],
+                        EnergyCategory::Insertion => insert_energy[way],
+                        EnergyCategory::Movement => (read_energy[way] + write_energy[way]) * 0.5,
+                        _ => unreachable!("not a way category"),
+                    };
+                    acct.charge(cat, e * n as f64);
+                }
+            }
+        }
+        if self.access_metadata_events != 0 {
+            acct.charge(
+                EnergyCategory::Access,
+                metadata_energy * self.access_metadata_events as f64,
+            );
+        }
+        if self.metadata_events != 0 {
+            acct.charge(
+                EnergyCategory::Metadata,
+                metadata_energy * self.metadata_events as f64,
+            );
+        }
+        if self.mvq_events != 0 {
+            acct.charge(
+                EnergyCategory::MovementQueue,
+                mvq_energy * self.mvq_events as f64,
+            );
+        }
+        acct
+    }
 }
 
 #[cfg(test)]
@@ -422,6 +488,62 @@ mod tests {
         for c in EnergyCategory::ALL {
             assert_eq!(a.get(c).as_pj().to_bits(), b.get(c).as_pj().to_bits());
         }
+    }
+
+    #[test]
+    fn symmetric_rw_tables_are_bit_exact_with_plain_finalize() {
+        // Awkward energies again: the read/write-mean pricing must
+        // collapse to the plain path exactly when the tables coincide.
+        let ways = [
+            Energy::from_pj(0.1),
+            Energy::from_pj(1.0 / 3.0),
+            Energy::from_pj(7.77e-3),
+        ];
+        let meta = Energy::from_pj(0.061);
+        let mvq = Energy::from_pj(0.013);
+        let mut l = EnergyLedger::new(3);
+        let mut state = 0xdead_beef_u64;
+        for _ in 0..5_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let cat = EnergyLedger::WAY_CATEGORIES[(state >> 33) as usize % 4];
+            l.count_way(cat, (state >> 17) as usize % 3);
+            if state.is_multiple_of(3) {
+                l.count_metadata();
+            }
+            if state.is_multiple_of(5) {
+                l.count_access_metadata();
+            }
+            if state.is_multiple_of(7) {
+                l.count_mvq();
+            }
+        }
+        let plain = l.to_account(&ways, meta, mvq);
+        let rw = l.to_account_rw(&ways, &ways, &ways, meta, mvq);
+        for c in EnergyCategory::ALL {
+            assert_eq!(
+                plain.get(c).as_pj().to_bits(),
+                rw.get(c).as_pj().to_bits(),
+                "{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_tables_price_each_category_by_its_operation() {
+        let read = [Energy::from_pj(10.0)];
+        let write = [Energy::from_pj(60.0)];
+        let insert = [Energy::from_pj(50.0)];
+        let mut l = EnergyLedger::new(1);
+        l.count_way(EnergyCategory::Access, 0); // read
+        l.count_way_n(EnergyCategory::Movement, 0, 2); // one source + one target
+        l.count_way(EnergyCategory::Insertion, 0); // insert-priced write
+        l.count_way(EnergyCategory::Writeback, 0); // read of the victim
+        let a = l.to_account_rw(&read, &write, &insert, Energy::ZERO, Energy::ZERO);
+        assert_eq!(a.get(EnergyCategory::Access).as_pj(), 10.0);
+        // Movement pair = one read + one write = 10 + 60.
+        assert_eq!(a.get(EnergyCategory::Movement).as_pj(), 70.0);
+        assert_eq!(a.get(EnergyCategory::Insertion).as_pj(), 50.0);
+        assert_eq!(a.get(EnergyCategory::Writeback).as_pj(), 10.0);
     }
 
     #[test]

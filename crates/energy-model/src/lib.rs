@@ -13,6 +13,10 @@
 //! * [`account`] — an [`account::EnergyAccount`] accumulator that splits
 //!   consumed energy into the categories reported in paper Figure 11
 //!   (access, movement, insertion, writeback, metadata, ...).
+//! * [`spec`] — declarative hierarchy specs: a std-only text format
+//!   describing per-level geometry and read/write/insertion energies
+//!   (including asymmetric STT-RAM nodes), with built-in `45nm`,
+//!   `22nm`, and `stt-llc` nodes and line/column/byte diagnostics.
 //!
 //! # Example
 //!
@@ -26,10 +30,12 @@
 
 pub mod account;
 pub mod params;
+pub mod spec;
 pub mod topology;
 
 pub use account::{EnergyAccount, EnergyCategory, EnergyLedger};
 pub use params::{LevelEnergyParams, TechnologyParams, TECH_22NM, TECH_45NM};
+pub use spec::{HierarchySpec, L1Spec, LevelSpec, SpecError, SublevelSpec, BUILTIN_NAMES};
 pub use topology::{BankGrid, Topology, WireParams};
 
 use core::fmt;

@@ -31,6 +31,15 @@ pub struct LevelEnergyParams {
     /// Energy of one metadata (12 b per line: two 3 b SLIPs + 6 b
     /// timestamp) read or write at this level.
     pub metadata_access: Energy,
+    /// Per-sublevel *write* energy, nearest first. `None` means writes
+    /// cost the same as reads (SRAM, the paper's Table 2 assumption);
+    /// `Some` models asymmetric technologies such as STT-RAM, where a
+    /// write costs several times a read (Rodríguez-Rodríguez et al.,
+    /// "Reuse Detector").
+    pub sublevel_write: Option<Vec<Energy>>,
+    /// Per-sublevel *insertion* energy (the write of an incoming line),
+    /// nearest first. `None` means insertions are priced as writes.
+    pub sublevel_insert: Option<Vec<Energy>>,
 }
 
 impl LevelEnergyParams {
@@ -57,6 +66,28 @@ impl LevelEnergyParams {
             .zip(&self.sublevel_lines)
             .map(|(&e, &lines)| e * (lines as f64 / total as f64))
             .sum()
+    }
+
+    /// `true` when reads, writes, and insertions all share one energy
+    /// table (every SRAM node; the pre-topology behavior).
+    pub fn is_symmetric(&self) -> bool {
+        self.sublevel_write.is_none() && self.sublevel_insert.is_none()
+    }
+
+    /// Resolved per-sublevel write energies: `sublevel_write` when
+    /// present, else the read energies.
+    pub fn resolved_write(&self) -> Vec<Energy> {
+        self.sublevel_write
+            .clone()
+            .unwrap_or_else(|| self.sublevel_access.clone())
+    }
+
+    /// Resolved per-sublevel insertion energies: `sublevel_insert` when
+    /// present, else the resolved write energies.
+    pub fn resolved_insert(&self) -> Vec<Energy> {
+        self.sublevel_insert
+            .clone()
+            .unwrap_or_else(|| self.resolved_write())
     }
 
     /// Cumulative capacity (in lines) of sublevels `0..=i`, i.e. the
@@ -127,6 +158,8 @@ pub static TECH_45NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLoc
             // 64 KB + 64 KB + 128 KB = 256 KB, 16 ways (Table 1).
             sublevel_lines: vec![kib_lines(64), kib_lines(64), kib_lines(128)],
             metadata_access: Energy::from_pj(1.0),
+            sublevel_write: None,
+            sublevel_insert: None,
         },
         l3: LevelEnergyParams {
             baseline_access: Energy::from_pj(136.0),
@@ -138,6 +171,8 @@ pub static TECH_45NM: std::sync::LazyLock<TechnologyParams> = std::sync::LazyLoc
             // 512 KB + 512 KB + 1 MB = 2 MB, 16 ways (Table 1).
             sublevel_lines: vec![kib_lines(512), kib_lines(512), kib_lines(1024)],
             metadata_access: Energy::from_pj(2.5),
+            sublevel_write: None,
+            sublevel_insert: None,
         },
         dram_pj_per_bit: 20.0,
         eou_op: Energy::from_pj(1.27),
@@ -165,6 +200,8 @@ pub static TECH_22NM: std::sync::LazyLock<TechnologyParams> =
             ],
             sublevel_lines: vec![kib_lines(64), kib_lines(64), kib_lines(128)],
             metadata_access: Energy::from_pj(0.6),
+            sublevel_write: None,
+            sublevel_insert: None,
         },
         l3: LevelEnergyParams {
             baseline_access: Energy::from_pj(72.0),
@@ -175,6 +212,8 @@ pub static TECH_22NM: std::sync::LazyLock<TechnologyParams> =
             ],
             sublevel_lines: vec![kib_lines(512), kib_lines(512), kib_lines(1024)],
             metadata_access: Energy::from_pj(1.5),
+            sublevel_write: None,
+            sublevel_insert: None,
         },
         dram_pj_per_bit: 14.0,
         eou_op: Energy::from_pj(0.7),

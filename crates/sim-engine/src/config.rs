@@ -1,7 +1,10 @@
 //! System configuration: paper Table 1 plus our documented additions.
 
-use cache_sim::{CacheGeometry, CacheLevel};
-use energy_model::{BankGrid, Energy, TechnologyParams, Topology, WireParams, TECH_45NM};
+use cache_sim::{CacheGeometry, CacheLevel, SublevelEnergies};
+use energy_model::{
+    BankGrid, Energy, HierarchySpec, LevelEnergyParams, TechnologyParams, Topology, WireParams,
+    TECH_45NM,
+};
 use slip_core::{EouObjective, SamplingConfig};
 
 /// Which placement policy drives the lower-level caches.
@@ -107,6 +110,10 @@ pub struct SystemConfig {
     /// L1 access energy (not in Table 2; our addition for the Figure 10
     /// full-system view).
     pub l1_energy: Energy,
+    /// L2 sets (paper: 256 KB / 64 B / 16 ways = 256).
+    pub l2_sets: usize,
+    /// L3 sets (paper: 2 MB / 64 B / 16 ways = 2048).
+    pub l3_sets: usize,
     /// Flat L2 latency for the regular cache (Table 1: 7 cycles).
     pub l2_uniform_latency: u32,
     /// Flat L3 latency for the regular cache (Table 1: 20 cycles).
@@ -153,6 +160,38 @@ pub struct SystemConfig {
 }
 
 impl SystemConfig {
+    /// Builds a configuration from a parsed hierarchy spec (`slip run
+    /// --topology FILE`, `SLIP_TOPOLOGY`, or a built-in node name). The
+    /// spec is re-validated so programmatically constructed specs go
+    /// through the same eligibility rulebook as parsed ones: power-of-two
+    /// sets keep set-sharding exact, `l1 ways <= 16` fits the packed-LRU
+    /// fast path, total ways fit `WayMask`, and the sublevel count
+    /// bounds the EOU's `2^S` enumeration — so every spec-built config
+    /// stays eligible for the shard, fused, and fast-path runners.
+    ///
+    /// Knobs the spec does not describe (policy internals, sampling,
+    /// seed, core model) keep their paper defaults; loading the built-in
+    /// `45nm` spec reproduces [`SystemConfig::paper_45nm`] exactly.
+    pub fn from_topology(spec: &HierarchySpec, policy: PolicyKind) -> Result<Self, String> {
+        spec.validate()
+            .map_err(|e| format!("topology {:?}: {e}", spec.name))?;
+        let mut c = SystemConfig::paper_45nm(policy);
+        c.tech = spec.technology();
+        c.l1_sets = spec.l1.sets;
+        c.l1_ways = spec.l1.ways;
+        c.l1_latency = spec.l1.latency;
+        c.l1_energy = Energy::from_pj(spec.l1.read_pj);
+        c.l2_sets = spec.l2.sets;
+        c.l3_sets = spec.l3.sets;
+        c.l2_uniform_latency = spec.l2.uniform_latency;
+        c.l3_uniform_latency = spec.l3.uniform_latency;
+        c.l2_sublevel_latency = spec.l2.sublevels.iter().map(|s| s.latency).collect();
+        c.l3_sublevel_latency = spec.l3.sublevels.iter().map(|s| s.latency).collect();
+        c.l2_sublevel_ways = spec.l2.sublevels.iter().map(|s| s.ways).collect();
+        c.l3_sublevel_ways = spec.l3.sublevels.iter().map(|s| s.ways).collect();
+        Ok(c)
+    }
+
     /// The paper's 45 nm single-core configuration with a given policy.
     pub fn paper_45nm(policy: PolicyKind) -> Self {
         SystemConfig {
@@ -163,6 +202,8 @@ impl SystemConfig {
             l1_sets: 64,
             l1_latency: 4,
             l1_energy: Energy::from_pj(5.0),
+            l2_sets: 256,
+            l3_sets: 2048,
             l2_uniform_latency: 7,
             l3_uniform_latency: 20,
             l2_sublevel_latency: vec![4, 6, 8],
@@ -190,30 +231,47 @@ impl SystemConfig {
     /// L2 geometry with per-sublevel energies and latencies from the
     /// technology parameters.
     pub fn l2_geometry(&self) -> CacheGeometry {
-        // 256 KB / 64 B / 16 ways = 256 sets.
-        let e = &self.tech.l2.sublevel_access;
-        let spec: Vec<(usize, Energy, u32)> = self
-            .l2_sublevel_ways
-            .iter()
-            .zip(e)
-            .zip(&self.l2_sublevel_latency)
-            .map(|((&w, &en), &lat)| (w, en, lat))
-            .collect();
-        CacheGeometry::from_sublevels(256, &spec)
+        Self::level_geometry(
+            self.l2_sets,
+            &self.tech.l2,
+            &self.l2_sublevel_ways,
+            &self.l2_sublevel_latency,
+        )
     }
 
     /// L3 geometry with per-sublevel energies and latencies.
     pub fn l3_geometry(&self) -> CacheGeometry {
-        // 2 MB / 64 B / 16 ways = 2048 sets.
-        let e = &self.tech.l3.sublevel_access;
-        let spec: Vec<(usize, Energy, u32)> = self
-            .l3_sublevel_ways
+        Self::level_geometry(
+            self.l3_sets,
+            &self.tech.l3,
+            &self.l3_sublevel_ways,
+            &self.l3_sublevel_latency,
+        )
+    }
+
+    /// Builds one level's geometry, carrying the technology's read,
+    /// write, and insertion tables (symmetric SRAM nodes resolve all
+    /// three to the same values).
+    fn level_geometry(
+        sets: usize,
+        params: &LevelEnergyParams,
+        sublevel_ways: &[usize],
+        sublevel_latency: &[u32],
+    ) -> CacheGeometry {
+        let write = params.resolved_write();
+        let insert = params.resolved_insert();
+        let spec: Vec<SublevelEnergies> = sublevel_ways
             .iter()
-            .zip(e)
-            .zip(&self.l3_sublevel_latency)
-            .map(|((&w, &en), &lat)| (w, en, lat))
+            .enumerate()
+            .map(|(i, &ways)| SublevelEnergies {
+                ways,
+                read: params.sublevel_access[i],
+                write: write[i],
+                insert: insert[i],
+                latency: sublevel_latency[i],
+            })
             .collect();
-        CacheGeometry::from_sublevels(2048, &spec)
+        CacheGeometry::from_rw_sublevels(sets, &spec)
     }
 
     /// Repartitions both levels into custom sublevel splits (the
@@ -236,8 +294,14 @@ impl SystemConfig {
         let l3_grid = BankGrid::l3_45nm();
         self.tech.l2.sublevel_access = l2_grid.sublevel_energies(topo, &wire, &l2);
         self.tech.l3.sublevel_access = l3_grid.sublevel_energies(topo, &wire, &l3);
-        self.tech.l2.sublevel_lines = l2.iter().map(|&w| w * 256).collect();
-        self.tech.l3.sublevel_lines = l3.iter().map(|&w| w * 2048).collect();
+        self.tech.l2.sublevel_lines = l2.iter().map(|&w| w * self.l2_sets).collect();
+        self.tech.l3.sublevel_lines = l3.iter().map(|&w| w * self.l3_sets).collect();
+        // The splits are re-derived from the calibrated 45 nm SRAM
+        // grids, so any asymmetric write tables no longer apply.
+        self.tech.l2.sublevel_write = None;
+        self.tech.l2.sublevel_insert = None;
+        self.tech.l3.sublevel_write = None;
+        self.tech.l3.sublevel_insert = None;
         // Latency from the mean bank row of each sublevel, calibrated
         // to reproduce Table 1 at the default 4/4/8 split.
         let mean_rows = |grid: &BankGrid, split: &[usize]| -> Vec<f64> {
@@ -381,6 +445,44 @@ mod tests {
         assert_eq!(c.rd_block_shift, 12);
         assert!(!c.inclusive_llc);
         assert_eq!(c.eou_objective, slip_core::EouObjective::InsertionAware);
+    }
+
+    #[test]
+    fn topology_45nm_equals_hardcoded_config() {
+        // Golden pin: the built-in 45 nm spec reproduces every field of
+        // the compiled-in configuration, so spec-loaded runs are
+        // bit-exact with the defaults (the suite-level golden test
+        // checks the full result payloads).
+        let spec = HierarchySpec::builtin("45nm").unwrap();
+        for policy in PolicyKind::ALL {
+            let from_spec = SystemConfig::from_topology(&spec, policy).unwrap();
+            let hard = SystemConfig::paper_45nm(policy);
+            assert_eq!(format!("{from_spec:?}"), format!("{hard:?}"), "{policy:?}");
+            assert_eq!(from_spec.l2_geometry(), hard.l2_geometry());
+            assert_eq!(from_spec.l3_geometry(), hard.l3_geometry());
+            assert_eq!(from_spec.l1_geometry(), hard.l1_geometry());
+        }
+    }
+
+    #[test]
+    fn topology_stt_llc_prices_l3_writes_asymmetrically() {
+        let spec = HierarchySpec::builtin("stt-llc").unwrap();
+        let c = SystemConfig::from_topology(&spec, PolicyKind::SlipAbp).unwrap();
+        let l3 = c.l3_geometry();
+        assert!(!l3.is_symmetric());
+        assert_eq!(l3.energy(0).as_pj(), 40.0);
+        assert_eq!(l3.write_energy(0).as_pj(), 240.0);
+        assert_eq!(l3.insert_energy(15).as_pj(), 636.0);
+        // L2 stays SRAM-symmetric.
+        assert!(c.l2_geometry().is_symmetric());
+    }
+
+    #[test]
+    fn from_topology_rejects_invalid_programmatic_specs() {
+        let mut spec = HierarchySpec::builtin("45nm").unwrap();
+        spec.l1.ways = 24;
+        let err = SystemConfig::from_topology(&spec, PolicyKind::Baseline).unwrap_err();
+        assert!(err.contains("l1 ways"), "{err}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | `SLIP_TRACE_CACHE_MB` | shared-trace cache budget in MiB (0 disables sharing) | 1024 |
 //! | `SLIP_FUZZ_ITERS`     | `slip check` differential-fuzz iteration budget | unset (mode default) |
 //! | `SLIP_SHARDS`         | set-shard workers per single run (power of two; 1 = serial) | 1 |
+//! | `SLIP_TOPOLOGY`       | hierarchy spec: built-in node name or file path | unset (built-in 45 nm) |
 //!
 //! One exception to the garbage-falls-back rule: a *set* `SLIP_SHARDS`
 //! that is not a power of two (or not a number) is an error, not a
@@ -89,6 +90,20 @@ pub fn shards() -> Result<usize, String> {
         .parse()
         .map_err(|_| format!("SLIP_SHARDS={:?}: not a number", raw.trim()))?;
     crate::shard::validate_shards(parsed).map_err(|e| format!("SLIP_SHARDS: {e}"))
+}
+
+/// Hierarchy spec argument (`SLIP_TOPOLOGY`): a built-in node name
+/// (`45nm`, `22nm`, `stt-llc`) or a spec file path; unset or empty
+/// means the compiled-in 45 nm configuration. Resolution (and
+/// rejection of malformed specs with line/column diagnostics) happens
+/// in `energy_model::HierarchySpec::load`, which the CLI calls — the
+/// variable is only *read* here so all `SLIP_*` knobs live in one
+/// table.
+pub fn topology() -> Option<String> {
+    std::env::var("SLIP_TOPOLOGY")
+        .ok()
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
 }
 
 /// Trace execution mode (`SLIP_TRACE_MODE`); unknown or unset values

@@ -15,7 +15,7 @@ use crate::pipeline::{run_workload_from_buffer, run_workload_pipelined, TraceMod
 use crate::result::SimResult;
 use crate::system::run_workload_with_warmup;
 use crate::trace_cache::{TraceCacheStats, TraceKey, TraceLru};
-use energy_model::TechnologyParams;
+use energy_model::{HierarchySpec, TechnologyParams};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -48,6 +48,13 @@ pub struct SuiteOptions {
     pub tech: TechnologyParams,
     /// Reuse-distance bin counter width.
     pub rd_bin_bits: u32,
+    /// Hierarchy spec overriding the compiled-in topology (`None` runs
+    /// the hard-coded 45 nm configuration). Set via [`with_topology`];
+    /// carries geometry *and* energy, so it also replaces
+    /// [`SuiteOptions::tech`].
+    ///
+    /// [`with_topology`]: SuiteOptions::with_topology
+    pub topology: Option<HierarchySpec>,
 }
 
 impl SuiteOptions {
@@ -61,6 +68,7 @@ impl SuiteOptions {
             policies: PolicyKind::ALL.to_vec(),
             tech: energy_model::TECH_45NM.clone(),
             rd_bin_bits: 4,
+            topology: None,
         }
     }
 
@@ -104,9 +112,30 @@ impl SuiteOptions {
         self
     }
 
+    /// Runs the sweep on a hierarchy spec instead of the compiled-in
+    /// topology. The spec carries the full energy model, so this also
+    /// replaces [`SuiteOptions::tech`] with the spec's technology.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a semantically invalid spec; `HierarchySpec::load`
+    /// already validated anything that came from a file or built-in
+    /// name, so this only trips on hand-built specs.
+    pub fn with_topology(mut self, spec: HierarchySpec) -> Self {
+        spec.validate()
+            .unwrap_or_else(|e| panic!("invalid topology spec: {e}"));
+        self.tech = spec.technology();
+        self.topology = Some(spec);
+        self
+    }
+
     /// Builds the system configuration for one cell of this sweep.
     pub fn cell_config(&self, policy: PolicyKind) -> SystemConfig {
-        let mut config = SystemConfig::paper_45nm(policy);
+        let mut config = match &self.topology {
+            Some(spec) => SystemConfig::from_topology(spec, policy)
+                .unwrap_or_else(|e| panic!("invalid topology spec: {e}")),
+            None => SystemConfig::paper_45nm(policy),
+        };
         config.tech = self.tech.clone();
         config.rd_bin_bits = self.rd_bin_bits;
         config
@@ -114,11 +143,19 @@ impl SuiteOptions {
 
     /// The journal key of one `(benchmark, policy)` cell. Encodes every
     /// input the result depends on, so stale journal entries can never
-    /// be mistaken for current ones.
+    /// be mistaken for current ones. Runs under an explicit topology
+    /// append a `topo=name#fingerprint` clause — the fingerprint hashes
+    /// the canonical spec text, so editing a spec file in place
+    /// invalidates old journal entries — while default runs keep the
+    /// historical key shape, so existing journals stay restorable.
     pub fn cell_key(&self, bench: &str, policy: PolicyKind) -> String {
         let config = self.cell_config(policy);
+        let topo = match &self.topology {
+            Some(spec) => format!(",topo={}#{:016x}", spec.name, spec.fingerprint()),
+            None => String::new(),
+        };
         format!(
-            "{bench}/{}@acc={},warm={},tech={},bits={},seed={:#x}",
+            "{bench}/{}@acc={},warm={},tech={},bits={},seed={:#x}{topo}",
             policy.label(),
             self.accesses,
             self.warmup,
@@ -349,7 +386,11 @@ pub fn run_suite_cell(
                     Some("sharded"),
                     "sharded",
                 ),
-                None => (pipelined(config), Some("pipelined"), "pipelined"),
+                // The cache refused the stream (over budget or sharing
+                // disabled): the cell regenerated its trace instead of
+                // sharing one. "regenerated" keeps the trace tally
+                // distinct from cells *configured* to run pipelined.
+                None => (pipelined(config), Some("regenerated"), "pipelined"),
             }
         }
         // A lone fused cell is a group of one; sharding is ignored in
@@ -376,6 +417,12 @@ pub fn run_suite_cell(
 /// disabled with a 0 MiB budget) cannot be fused — there is no buffer
 /// to share — so the group degrades to per-cell pipelined regeneration
 /// and labels itself accordingly via [`SimResult::exec_mode`].
+///
+/// Trace-source attribution: the group performs exactly *one* stream
+/// fetch (or one regeneration per member on fallback), so only the
+/// first member carries the cache-outcome label; the rest return
+/// `None`. Attributing the single fetch to every member used to
+/// multiply the sweep footer's trace tally by the group size.
 pub fn run_fused_group(
     options: &SuiteOptions,
     bench: &str,
@@ -394,14 +441,17 @@ pub fn run_fused_group(
         Some((buf, outcome)) => (buf, outcome.label()),
         None if cache.is_some() => {
             // The cache bypassed the stream: honor its memory budget
-            // and fall back to per-cell pipelined regeneration.
+            // and fall back to per-cell pipelined regeneration. Every
+            // member regenerates its own trace, so each one carries a
+            // "regenerated" label (distinct from "pipelined", which
+            // marks cells *configured* to run that way).
             return configs
                 .into_iter()
                 .map(|config| {
                     let mut r =
                         run_workload_pipelined(config, &spec, options.accesses, options.warmup);
                     r.exec_mode = Some("pipelined");
-                    (r, Some("pipelined"))
+                    (r, Some("regenerated"))
                 })
                 .collect();
         }
@@ -413,9 +463,10 @@ pub fn run_fused_group(
     };
     crate::fused::run_group_from_buffer(configs, spec.name(), &buffer, options.warmup)
         .into_iter()
-        .map(|mut r| {
+        .enumerate()
+        .map(|(i, mut r)| {
             r.exec_mode = Some("fused");
-            (r, Some(trace_source))
+            (r, (i == 0).then_some(trace_source))
         })
         .collect()
 }
@@ -788,6 +839,118 @@ mod tests {
         assert!(suite.try_get("gcc", PolicyKind::Baseline).is_some());
         assert!(suite.try_get("gcc", PolicyKind::SlipAbp).is_none());
         assert!(suite.try_get("soplex", PolicyKind::Baseline).is_none());
+    }
+
+    #[test]
+    fn fused_group_attributes_one_stream_fetch_to_first_member_only() {
+        // The group fetches its stream exactly once; attributing that
+        // fetch to every member multiplied the sweep footer's trace
+        // tally by the group size (e.g. "[traces: 10 materialized]"
+        // next to a cache reporting 2 misses).
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_accesses(5_000);
+        let policies = [PolicyKind::Baseline, PolicyKind::Slip, PolicyKind::SlipAbp];
+        let cache = TraceLru::new(64);
+        let group = run_fused_group(&opts, "gcc", &policies, Some(&cache));
+        let labels: Vec<Option<&'static str>> = group.iter().map(|(_, s)| *s).collect();
+        assert_eq!(labels, [Some("materialized"), None, None]);
+        for (r, _) in &group {
+            assert_eq!(r.exec_mode, Some("fused"));
+        }
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn fused_cache_bypass_labels_each_member_regenerated() {
+        // A 0 MiB cache bypasses every stream: the group cannot fuse
+        // and each member regenerates its own trace. Each member
+        // carries its own "regenerated" label (one regeneration per
+        // member really happened), distinct from "pipelined" — the
+        // label for cells *configured* to run that way — so the footer
+        // tallies no longer double up under one name.
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc"])
+            .with_accesses(5_000);
+        let policies = [PolicyKind::Baseline, PolicyKind::SlipAbp];
+        let cache = TraceLru::new(0);
+        let group = run_fused_group(&opts, "gcc", &policies, Some(&cache));
+        for (r, source) in &group {
+            assert_eq!(*source, Some("regenerated"));
+            assert_eq!(r.exec_mode, Some("pipelined"));
+        }
+        assert_eq!(cache.stats().bypasses, 1);
+
+        // The shared-mode bypass fallback reports the same way.
+        let (r, source) = run_suite_cell(
+            &opts,
+            "gcc",
+            PolicyKind::Baseline,
+            TraceMode::Shared,
+            Some(&cache),
+            1,
+        );
+        assert_eq!(source, Some("regenerated"));
+        assert_eq!(r.exec_mode, Some("pipelined"));
+    }
+
+    #[test]
+    fn topology_45nm_suite_matches_hardcoded_across_modes_and_jobs() {
+        // Golden pin: `--topology 45nm` routes through the spec parser
+        // and `SystemConfig::from_topology`, yet must be bit-exact with
+        // the compiled-in configuration in every trace mode, serial and
+        // parallel.
+        let opts = SuiteOptions::paper_full()
+            .with_benchmarks(&["gcc", "soplex"])
+            .with_policies(&[PolicyKind::Slip, PolicyKind::SlipAbp])
+            .with_accesses(8_000)
+            .with_warmup(2_000);
+        let topo = opts
+            .clone()
+            .with_topology(HierarchySpec::builtin("45nm").unwrap());
+        let fingerprint = |suite: &SuiteResults| -> Vec<String> {
+            let mut cells = Vec::new();
+            for &b in suite.benchmarks() {
+                for &p in &suite.options.policies {
+                    cells.push(codec::encode_result(suite.get(b, p)).to_json());
+                }
+            }
+            cells
+        };
+        let reference = fingerprint(&SuiteResults::run_with(opts, &SweepConfig::serial()).unwrap());
+        for mode in [
+            TraceMode::Inline,
+            TraceMode::Pipelined,
+            TraceMode::Shared,
+            TraceMode::Fused,
+        ] {
+            for jobs in [1, 4] {
+                let sweep = SweepConfig::with_jobs(jobs).with_trace_mode(mode);
+                let suite = SuiteResults::run_with(topo.clone(), &sweep).unwrap();
+                assert_eq!(fingerprint(&suite), reference, "{mode:?} jobs={jobs}");
+            }
+        }
+    }
+
+    #[test]
+    fn topology_cell_keys_carry_name_and_fingerprint() {
+        let plain = SuiteOptions::paper_full().with_accesses(1000);
+        let topo = plain
+            .clone()
+            .with_topology(HierarchySpec::builtin("stt-llc").unwrap());
+        let plain_key = plain.cell_key("gcc", PolicyKind::Slip);
+        let topo_key = topo.cell_key("gcc", PolicyKind::Slip);
+        // Default keys keep their historical shape (journal back-compat).
+        assert!(!plain_key.contains("topo="));
+        // Explicit-topology keys pin both the node name and the
+        // canonical-text fingerprint.
+        assert!(topo_key.contains(",topo=stt-llc#"), "{topo_key}");
+        assert_ne!(plain_key, topo_key);
+        // Different nodes never share a key.
+        let other = plain
+            .clone()
+            .with_topology(HierarchySpec::builtin("22nm").unwrap());
+        assert_ne!(topo_key, other.cell_key("gcc", PolicyKind::Slip));
     }
 
     #[test]

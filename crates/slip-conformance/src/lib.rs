@@ -31,6 +31,7 @@ pub mod invariants;
 pub mod oracle;
 pub mod service;
 pub mod shard;
+pub mod topology;
 
 pub use adversarial::{generate, Pattern};
 pub use differential::{run_fuzz, Divergence, FuzzOptions, Scenario};
@@ -43,12 +44,13 @@ pub use invariants::{
 pub use oracle::{run_oracle, OracleReport, OracleRow};
 pub use service::check_serve_determinism;
 pub use shard::check_shard_determinism;
+pub use topology::{check_spec_determinism, check_topology_determinism};
 
 /// Runs the quick invariant sweep used by `slip check`: the standard
 /// invariants over one adversarial trace per (pattern, policy) pairing,
 /// plus the standalone EOU, Default-SLIP, serve-determinism,
-/// shard-determinism, fused-determinism, and fastpath-determinism
-/// equivalence checks.
+/// shard-determinism, fused-determinism, fastpath-determinism, and
+/// topology-determinism equivalence checks.
 /// Returns every violation found (empty = clean).
 pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violation> {
     use sim_engine::config::{PolicyKind, SystemConfig};
@@ -99,6 +101,9 @@ pub fn run_invariant_sweep(seed: u64, trace_len: u64, quiet: bool) -> Vec<Violat
         violations.push(v);
     }
     if let Err(v) = fastpath::check_fastpath_determinism(seed, trace_len, quiet) {
+        violations.push(v);
+    }
+    if let Err(v) = topology::check_topology_determinism(seed, trace_len, quiet) {
         violations.push(v);
     }
     violations

@@ -11,6 +11,7 @@
 //! run-length sensitivity without admitting a sign flip or an ordering
 //! inversion.
 
+use energy_model::{EnergyCategory, HierarchySpec};
 use sim_engine::config::PolicyKind;
 use sim_engine::experiments::suite::{SuiteOptions, SuiteResults, SweepConfig};
 use sim_engine::multicore::run_mix;
@@ -285,6 +286,73 @@ pub fn run_oracle(accesses: u64, sweep: &SweepConfig) -> std::io::Result<OracleR
         mean(dram_changes.into_iter()),
         -0.20,
         0.02,
+    ));
+
+    // §6 node study at 22 nm, through the topology path: the node is a
+    // parsed hierarchy spec, not a compiled-in constant, so the oracle
+    // also pins the spec pipeline end to end. The paper's §6 claim is
+    // that SLIP's savings *persist* at smaller nodes (22 nm: 36% L2 /
+    // 25% L3). In this model wire and bank energy shrink together, so
+    // the fractional saving at 22 nm tracks 45 nm to within half a
+    // point (measured −0.004 L2 / −0.002 L3 at 1M) — the gap rows pin
+    // that carry-over, not a growth that the model does not exhibit.
+    let node_suite = |name: &str| -> std::io::Result<SuiteResults> {
+        let options = SuiteOptions::paper_full()
+            .with_accesses(accesses)
+            .with_warmup(accesses / 10)
+            .with_policies(&[PolicyKind::SlipAbp])
+            .with_topology(HierarchySpec::builtin(name).expect("built-in node"));
+        SuiteResults::run_with(options, sweep)
+    };
+    let suite22 = node_suite("22nm")?;
+    rows.push(row(
+        "mean L2 saving at 22nm, SLIP+ABP",
+        suite22.mean_l2_saving(PolicyKind::SlipAbp),
+        0.22,
+        0.55,
+    ));
+    rows.push(row(
+        "mean L3 saving at 22nm, SLIP+ABP",
+        suite22.mean_l3_saving(PolicyKind::SlipAbp),
+        0.18,
+        0.52,
+    ));
+    rows.push(row(
+        "22nm L2 saving gap vs 45nm",
+        suite22.mean_l2_saving(PolicyKind::SlipAbp) - l2(PolicyKind::SlipAbp),
+        -0.06,
+        0.10,
+    ));
+    rows.push(row(
+        "22nm L3 saving gap vs 45nm",
+        suite22.mean_l3_saving(PolicyKind::SlipAbp) - l3(PolicyKind::SlipAbp),
+        -0.06,
+        0.10,
+    ));
+
+    // STT-RAM LLC node: reads cost ~0.6x SRAM but writes cost 6x their
+    // read, so the baseline's L3 energy is *insertion*-dominated —
+    // every miss fill pays the expensive write — and ABP's insertion
+    // bypass saves more at L3 than the SRAM node's. Both claims are
+    // orderings, robust to run length.
+    let stt = node_suite("stt-llc")?;
+    let stt_insertion_share = mean(stt.benchmarks().iter().map(|b| {
+        let acct = &stt.baseline(b).l3_energy;
+        let insertion = acct.get(EnergyCategory::Insertion).as_pj();
+        let access = acct.get(EnergyCategory::Access).as_pj();
+        insertion / (insertion + access)
+    }));
+    rows.push(row(
+        "stt-llc: baseline L3 insertion share of read+insert",
+        stt_insertion_share,
+        0.65,
+        0.97,
+    ));
+    rows.push(row(
+        "ordering: stt-llc L3 saving over 45nm, SLIP+ABP",
+        stt.mean_l3_saving(PolicyKind::SlipAbp) - l3(PolicyKind::SlipAbp),
+        0.0,
+        0.3,
     ));
 
     Ok(OracleReport { accesses, rows })

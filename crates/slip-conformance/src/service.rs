@@ -50,6 +50,7 @@ fn check_mode(
         policies: policies.iter().map(|&p| p.to_owned()).collect(),
         accesses,
         warmup: 0,
+        topology: None,
     };
     let options = spec
         .suite_options()

@@ -1,5 +1,10 @@
 //! Tier-2 figure-oracle regression gate: replays a reduced paper suite
 //! and asserts the EXPERIMENTS.md headline claims as data-driven bands.
+//! Besides the 45 nm figures this covers the §6 technology-node study
+//! through the declarative topology path: the `22nm` node (savings
+//! persist, within half a point of 45 nm) and the `stt-llc` node
+//! (baseline L3 energy is insertion-dominated and SLIP+ABP saves more
+//! there than on the SRAM LLC) — bands calibrated at 1M accesses.
 //!
 //! Ignored by default — it simulates tens of millions of accesses.
 //! Run it explicitly (nightly-equivalent) with:

@@ -33,6 +33,7 @@
 //! {"frame":"bye"}
 //! ```
 
+use energy_model::HierarchySpec;
 use sim_engine::config::PolicyKind;
 use sim_engine::experiments::SuiteOptions;
 use sweep_runner::json::Value;
@@ -62,9 +63,29 @@ pub struct SweepSpec {
     pub accesses: u64,
     /// Unmeasured warmup accesses.
     pub warmup: u64,
+    /// Hierarchy spec: a built-in node name (`45nm`, `22nm`,
+    /// `stt-llc`) or full spec *text* (the server never reads client
+    /// file paths); `None` runs the compiled-in 45 nm configuration.
+    pub topology: Option<String>,
 }
 
 impl SweepSpec {
+    /// Resolves [`SweepSpec::topology`] into a parsed hierarchy spec.
+    /// A value containing a newline is treated as inline spec text;
+    /// anything else must name a built-in node.
+    pub fn topology_spec(&self) -> Result<Option<HierarchySpec>, String> {
+        let Some(arg) = &self.topology else {
+            return Ok(None);
+        };
+        if arg.contains('\n') {
+            return HierarchySpec::parse(arg)
+                .map(Some)
+                .map_err(|e| format!("spec.topology: {e}"));
+        }
+        HierarchySpec::builtin(arg).map(Some).ok_or_else(|| {
+            format!("spec.topology: unknown node {arg:?} (send spec text for custom hierarchies)")
+        })
+    }
     /// Resolves the spec against the workload/policy registries,
     /// producing the identical [`SuiteOptions`] an offline `slip sweep`
     /// of the same parameters would run. Unknown names are an error —
@@ -88,6 +109,9 @@ impl SweepSpec {
             .with_benchmarks(&benchmarks)
             .with_accesses(self.accesses)
             .with_warmup(self.warmup);
+        if let Some(spec) = self.topology_spec()? {
+            options = options.with_topology(spec);
+        }
         if !self.policies.is_empty() {
             let policies: Vec<PolicyKind> = self
                 .policies
@@ -105,7 +129,7 @@ impl SweepSpec {
     /// the same run and share one execution.
     pub fn canonical(&self) -> Result<Value, String> {
         let options = self.suite_options()?;
-        Ok(Value::object()
+        let mut canonical = Value::object()
             .with(
                 "benchmarks",
                 Value::Array(options.benchmarks.iter().map(|b| Value::str(*b)).collect()),
@@ -121,7 +145,19 @@ impl SweepSpec {
                 ),
             )
             .with("accesses", Value::u64(self.accesses))
-            .with("warmup", Value::u64(self.warmup)))
+            .with("warmup", Value::u64(self.warmup));
+        if let Some(spec) = self.topology_spec()? {
+            // Name plus canonical-text fingerprint: a built-in name and
+            // the identical inline text canonicalize differently by
+            // name, but any two textual variants of one hierarchy (one
+            // sent as text, one re-sent with different comments or
+            // whitespace) share the fingerprint and therefore the run.
+            canonical = canonical.with(
+                "topology",
+                Value::str(format!("{}#{:016x}", spec.name, spec.fingerprint())),
+            );
+        }
+        Ok(canonical)
     }
 
     /// The run id: `r-` plus the FNV-1a hash of the canonical spec.
@@ -134,7 +170,7 @@ impl SweepSpec {
 
     /// Wire encoding.
     pub fn to_value(&self) -> Value {
-        Value::object()
+        let out = Value::object()
             .with(
                 "benchmarks",
                 Value::Array(
@@ -154,7 +190,11 @@ impl SweepSpec {
                 ),
             )
             .with("accesses", Value::u64(self.accesses))
-            .with("warmup", Value::u64(self.warmup))
+            .with("warmup", Value::u64(self.warmup));
+        match &self.topology {
+            Some(t) => out.with("topology", Value::str(t.as_str())),
+            None => out,
+        }
     }
 
     /// Wire decoding; missing or wrongly-typed fields are an error.
@@ -182,6 +222,16 @@ impl SweepSpec {
                 .and_then(Value::as_u64)
                 .ok_or("spec.accesses must be a u64")?,
             warmup: v.get("warmup").and_then(Value::as_u64).unwrap_or(0),
+            // Absent means the default topology — specs journaled
+            // before the field existed keep parsing.
+            topology: match v.get("topology") {
+                None => None,
+                Some(t) => Some(
+                    t.as_str()
+                        .map(str::to_owned)
+                        .ok_or("spec.topology must be a string")?,
+                ),
+            },
         })
     }
 }
@@ -470,6 +520,11 @@ mod tests {
             policies: names(rng),
             accesses: rng.u64(),
             warmup: rng.u64(),
+            topology: match rng.next() % 3 {
+                0 => None,
+                1 => Some("stt-llc".to_owned()),
+                _ => Some(rng.string()),
+            },
         }
     }
 
@@ -541,6 +596,7 @@ mod tests {
             policies: vec!["SLIP".into()],
             accesses: u64::MAX,
             warmup: (1 << 53) + 1,
+            topology: Some("node x\nwire \"quoted\n".into()),
         };
         let lines = [
             Request::Submit(spec).to_value().to_json(),
@@ -592,6 +648,7 @@ mod tests {
             policies: vec!["SLIP".into()],
             accesses: 1000,
             warmup: 0,
+            topology: None,
         };
         // Different text, same canonical run: baseline is implied, and
         // policy parsing is case-insensitive.
@@ -600,6 +657,7 @@ mod tests {
             policies: vec!["baseline".into(), "slip".into()],
             accesses: 1000,
             warmup: 0,
+            topology: None,
         };
         assert_eq!(a.run_id().unwrap(), b.run_id().unwrap());
         let c = SweepSpec {
@@ -613,7 +671,64 @@ mod tests {
             policies: vec![],
             accesses: 1,
             warmup: 0,
+            topology: None,
         };
         assert!(bad.run_id().is_err());
+    }
+
+    #[test]
+    fn topology_enters_the_run_identity() {
+        use energy_model::spec::BUILTIN_STT_LLC;
+        use energy_model::HierarchySpec;
+        let base = SweepSpec {
+            benchmarks: vec!["gcc".into()],
+            policies: vec!["SLIP".into()],
+            accesses: 1000,
+            warmup: 0,
+            topology: None,
+        };
+        let named = SweepSpec {
+            topology: Some("stt-llc".into()),
+            ..base.clone()
+        };
+        // A topology changes the run id; different nodes never collide.
+        assert_ne!(base.run_id().unwrap(), named.run_id().unwrap());
+        let other = SweepSpec {
+            topology: Some("22nm".into()),
+            ..base.clone()
+        };
+        assert_ne!(named.run_id().unwrap(), other.run_id().unwrap());
+        // The same hierarchy sent as a built-in name and as inline spec
+        // text deduplicates to one run: the canonical identity is
+        // name#fingerprint of the parsed spec, not the raw argument.
+        let inline = SweepSpec {
+            topology: Some(BUILTIN_STT_LLC.to_owned()),
+            ..base.clone()
+        };
+        assert_eq!(named.run_id().unwrap(), inline.run_id().unwrap());
+        // Equivalent text with extra comments fingerprints identically.
+        let commented = SweepSpec {
+            topology: Some(format!("# leading comment\n{BUILTIN_STT_LLC}")),
+            ..base.clone()
+        };
+        assert_eq!(named.run_id().unwrap(), commented.run_id().unwrap());
+        // Unknown node names and malformed inline text are errors.
+        let unknown = SweepSpec {
+            topology: Some("90nm".into()),
+            ..base.clone()
+        };
+        assert!(unknown.run_id().unwrap_err().contains("unknown node"));
+        let malformed = SweepSpec {
+            topology: Some("node bad\nwire 0.1\n".into()),
+            ..base.clone()
+        };
+        assert!(malformed.run_id().unwrap_err().contains("line"));
+        // The suite options actually carry the spec's technology.
+        let options = named.suite_options().unwrap();
+        assert_eq!(options.tech.name, "stt-llc");
+        assert_eq!(
+            HierarchySpec::builtin("stt-llc").unwrap().fingerprint(),
+            options.topology.as_ref().unwrap().fingerprint()
+        );
     }
 }

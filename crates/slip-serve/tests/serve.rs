@@ -39,6 +39,7 @@ fn small_spec() -> SweepSpec {
         policies: vec!["baseline".into(), "slip".into()],
         accesses: 2_000,
         warmup: 0,
+        topology: None,
     }
 }
 
@@ -188,12 +189,14 @@ fn overlapping_specs_share_cell_executions() {
         policies: vec!["baseline".into(), "slip".into()],
         accesses: 2_000,
         warmup: 0,
+        topology: None,
     };
     let big = SweepSpec {
         benchmarks: vec!["gcc".into(), "soplex".into()],
         policies: vec!["baseline".into(), "slip".into()],
         accesses: 2_000,
         warmup: 0,
+        topology: None,
     };
 
     let mut first = client::submit(addr, &small).expect("submit small");
@@ -287,6 +290,7 @@ fn unknown_run_and_bad_requests_get_error_frames() {
             policies: vec![],
             accesses: 1_000,
             warmup: 0,
+            topology: None,
         },
     )
     .unwrap_err();

@@ -32,8 +32,8 @@ struct Aggregate {
     /// reconstruction that rounds to garbage.
     rated_cells: usize,
     /// Cells counted per `trace_source` metric label (e.g. `cached`
-    /// cache hits vs `materialized` misses vs `pipelined`
-    /// regeneration), in first-seen order.
+    /// cache hits vs `materialized` misses vs `regenerated`
+    /// cache-bypass fallbacks), in first-seen order.
     trace_sources: Vec<(String, usize)>,
     /// Cells counted per `exec_mode` metric label (the execution path
     /// that actually ran — `fused`, `sharded`, `pipelined`, ... — which
@@ -316,7 +316,7 @@ mod tests {
         let p = Progress::new("t", 4, true);
         let cached = Value::object().with("trace_source", Value::str("cached"));
         let materialized = Value::object().with("trace_source", Value::str("materialized"));
-        let regen = Value::object().with("trace_source", Value::str("pipelined"));
+        let regen = Value::object().with("trace_source", Value::str("regenerated"));
         p.cell_done("a", Duration::from_millis(5), &materialized);
         p.cell_done("b", Duration::from_millis(5), &cached);
         p.cell_done("c", Duration::from_millis(5), &cached);
@@ -327,7 +327,7 @@ mod tests {
             vec![
                 ("materialized".to_owned(), 1),
                 ("cached".to_owned(), 2),
-                ("pipelined".to_owned(), 1)
+                ("regenerated".to_owned(), 1)
             ]
         );
         p.finish(0);

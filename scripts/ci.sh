@@ -22,16 +22,37 @@ echo "==> cargo test -q"
 cargo test -q
 
 # Conformance gate: bounded differential fuzz + invariant sweep
-# (including the shard-, fused-, and fastpath-determinism checks: the
-# sharded/fused executions and the batched L1 fast path — the default
-# hot path since PR 9 — must be bit-identical to the verbatim
-# reference over the adversarial trace families) at a fixed seed, so
-# every run covers the identical scenario set. Override the iteration
-# budget with SLIP_FUZZ_ITERS if the default is too slow on a given
-# machine. The nightly-equivalent full budget is:
+# (including the shard-, fused-, fastpath-, and topology-determinism
+# checks: the sharded/fused executions, the batched L1 fast path — the
+# default hot path since PR 9 — and every built-in hierarchy spec must
+# be bit-identical to the verbatim reference over the adversarial
+# trace families) at a fixed seed, so every run covers the identical
+# scenario set. --topology stt-llc additionally drives the asymmetric
+# STT-RAM node through the CLI spec-loading path and holds it to the
+# same run-mode determinism bar. Override the iteration budget with
+# SLIP_FUZZ_ITERS if the default is too slow on a given machine. The
+# nightly-equivalent full budget is:
 #   ./target/release/slip check --full --oracle
-echo "==> slip check --quick --seed 0x511b"
-SLIP_FUZZ_ITERS="${SLIP_FUZZ_ITERS:-48}" ./target/release/slip check --quick --seed 0x511b
+echo "==> slip check --quick --seed 0x511b --topology stt-llc"
+SLIP_FUZZ_ITERS="${SLIP_FUZZ_ITERS:-48}" ./target/release/slip check --quick --seed 0x511b \
+    --topology stt-llc
+
+# Malformed-spec rejection smoke: a broken topology file must fail
+# fast with a positioned diagnostic, never reach simulation.
+echo "==> malformed topology rejection smoke"
+TOPO_BAD="target/ci-bad.topo"
+printf 'node broken\nwire 0.16\n' > "$TOPO_BAD"
+if ./target/release/slip run gcc --topology "$TOPO_BAD" --accesses 100 \
+    >/dev/null 2>"$TOPO_BAD.err"; then
+    echo "malformed topology was accepted" >&2
+    exit 1
+fi
+grep -q 'line 2' "$TOPO_BAD.err" || {
+    echo "malformed topology error lacks a position:" >&2
+    cat "$TOPO_BAD.err" >&2
+    exit 1
+}
+rm -f "$TOPO_BAD" "$TOPO_BAD.err"
 
 if command -v cargo-clippy >/dev/null 2>&1; then
     echo "==> cargo clippy -q --all-targets -- -D warnings"
